@@ -1,0 +1,310 @@
+//! Dynamic-programming layer assignment of fixed 2-D geometry.
+
+use std::collections::HashMap;
+
+use fastgr_design::Design;
+use fastgr_grid::{Direction, GridError, GridGraph, Point2, Route, Segment, Via};
+
+use crate::router2d::Plan2D;
+
+/// Assigns the segments of 2-D plans to metal layers of the real 3-D grid.
+///
+/// Per net, per two-pin chain (in the plan's bottom-up order) a chain
+/// dynamic program picks one direction-compatible layer per segment,
+/// minimising wire congestion cost plus the via stacks at bends and at the
+/// *anchors* — the layer intervals already materialised at shared tree
+/// nodes and pins (pins anchor at layer 0). This is the greedy-per-net,
+/// DP-per-chain scheme of classic 2-D flows; unlike FastGR's 3-D pattern
+/// routing it cannot trade 2-D geometry against layer choice, which is
+/// exactly the deficiency the ablation measures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerAssigner {
+    _private: (),
+}
+
+impl LayerAssigner {
+    /// Creates the assigner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns every net's plan, committing demand to `graph` net by net
+    /// (ascending net id — plans already reflect the router's ordering).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridError`] on commit failures (internal invariant).
+    pub fn assign_all(
+        &self,
+        design: &Design,
+        graph: &mut GridGraph,
+        plans: &[Plan2D],
+    ) -> Result<Vec<Route>, GridError> {
+        assert_eq!(plans.len(), design.nets().len(), "one plan per net");
+        let mut routes = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let route = self.assign_net(graph, plan);
+            graph.commit(&route)?;
+            routes.push(route);
+        }
+        Ok(routes)
+    }
+
+    /// Assigns one net's plan (without committing).
+    pub fn assign_net(&self, graph: &GridGraph, plan: &Plan2D) -> Route {
+        let layers = graph.num_layers() as usize;
+        let mut route = Route::new();
+        // Anchors: layer intervals already materialised per G-cell. Pins
+        // seed an anchor at the pin layer 0.
+        let mut anchors: HashMap<Point2, (u8, u8)> = HashMap::new();
+        for &pin in &plan.pins {
+            anchors.insert(pin, (0, 0));
+        }
+
+        for chain in &plan.edges {
+            if chain.is_empty() {
+                continue;
+            }
+            // Junctions j0 .. jk along the chain.
+            let mut junctions = vec![chain[0].from];
+            for s in chain {
+                junctions.push(s.to);
+            }
+
+            // cost[i][l]: best cost with segment i on layer l.
+            let k = chain.len();
+            let mut cost = vec![vec![f64::INFINITY; layers]; k];
+            let mut back = vec![vec![0u8; layers]; k];
+            for (i, seg) in chain.iter().enumerate() {
+                let dir = if seg.is_horizontal() {
+                    Direction::Horizontal
+                } else {
+                    Direction::Vertical
+                };
+                for l in 1..layers {
+                    if graph.layer(l as u8).direction != dir {
+                        continue;
+                    }
+                    let wire = graph.wire_run_cost(l as u8, seg.from, seg.to);
+                    if !wire.is_finite() {
+                        continue;
+                    }
+                    if i == 0 {
+                        let connect = anchor_connect_cost(graph, &anchors, junctions[0], l as u8);
+                        cost[0][l] = connect + wire;
+                    } else {
+                        for lp in 1..layers {
+                            if !cost[i - 1][lp].is_finite() {
+                                continue;
+                            }
+                            let via = graph.via_stack_cost(junctions[i], lp as u8, l as u8);
+                            let c = cost[i - 1][lp] + via + wire;
+                            if c < cost[i][l] {
+                                cost[i][l] = c;
+                                back[i][l] = lp as u8;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Close the chain at the parent junction's anchor.
+            let mut best = f64::INFINITY;
+            let mut best_l = 0usize;
+            for l in 1..layers {
+                if !cost[k - 1][l].is_finite() {
+                    continue;
+                }
+                let connect = anchor_connect_cost(graph, &anchors, junctions[k], l as u8);
+                if cost[k - 1][l] + connect < best {
+                    best = cost[k - 1][l] + connect;
+                    best_l = l;
+                }
+            }
+            debug_assert!(best.is_finite(), "chain must be assignable");
+
+            // Back-track the layers.
+            let mut chosen = vec![0u8; k];
+            chosen[k - 1] = best_l as u8;
+            for i in (1..k).rev() {
+                chosen[i - 1] = back[i][chosen[i] as usize];
+            }
+
+            // Emit geometry: wires, bend vias, anchor-extension vias.
+            emit_anchor_connection(&mut route, &mut anchors, junctions[0], chosen[0]);
+            for (i, seg) in chain.iter().enumerate() {
+                route.push_segment(Segment::new(chosen[i], seg.from, seg.to));
+                if i + 1 < k {
+                    route.push_via(Via::new(junctions[i + 1], chosen[i], chosen[i + 1]));
+                }
+            }
+            emit_anchor_connection(&mut route, &mut anchors, junctions[k], chosen[k - 1]);
+        }
+        route.normalize();
+        debug_assert!(route.is_connected(), "assigned net must stay connected");
+        route
+    }
+}
+
+/// Via cost of connecting layer `l` to the anchor interval at `at`
+/// (0 when no anchor exists yet — the junction simply materialises at `l`).
+fn anchor_connect_cost(
+    graph: &GridGraph,
+    anchors: &HashMap<Point2, (u8, u8)>,
+    at: Point2,
+    l: u8,
+) -> f64 {
+    match anchors.get(&at) {
+        Some(&(lo, hi)) => {
+            if l < lo {
+                graph.via_stack_cost(at, l, lo)
+            } else if l > hi {
+                graph.via_stack_cost(at, hi, l)
+            } else {
+                0.0
+            }
+        }
+        None => 0.0,
+    }
+}
+
+/// Emits the via stack realising the anchor connection and updates the
+/// anchor interval at `at` to include `l`.
+fn emit_anchor_connection(
+    route: &mut Route,
+    anchors: &mut HashMap<Point2, (u8, u8)>,
+    at: Point2,
+    l: u8,
+) {
+    match anchors.get_mut(&at) {
+        Some(interval) => {
+            let (lo, hi) = *interval;
+            if l < lo {
+                route.push_via(Via::new(at, l, lo));
+            } else if l > hi {
+                route.push_via(Via::new(at, hi, l));
+            }
+            *interval = (lo.min(l), hi.max(l));
+        }
+        None => {
+            anchors.insert(at, (l, l));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::Projection;
+    use crate::router2d::TwoDRouter;
+    use fastgr_design::{Generator, Net, NetId, Pin};
+    use fastgr_grid::CostParams;
+
+    fn graph() -> GridGraph {
+        let mut g = GridGraph::new(16, 16, 6, CostParams::default()).expect("valid");
+        g.fill_capacity(3.0);
+        g
+    }
+
+    fn assign_design(design: &Design) -> (GridGraph, Vec<Route>) {
+        let mut g = graph();
+        let mut p = Projection::from_graph(&g);
+        let plans = TwoDRouter::new().route_all(design, &mut p);
+        let routes = LayerAssigner::new()
+            .assign_all(design, &mut g, &plans)
+            .expect("valid");
+        (g, routes)
+    }
+
+    fn two_pin_design(a: (u16, u16), b: (u16, u16)) -> Design {
+        Design::new(
+            "d",
+            16,
+            16,
+            6,
+            3.0,
+            vec![],
+            vec![Net::new(
+                NetId(0),
+                "n",
+                vec![
+                    Pin::new(Point2::new(a.0, a.1), 0),
+                    Pin::new(Point2::new(b.0, b.1), 0),
+                ],
+            )],
+        )
+    }
+
+    #[test]
+    fn two_pin_assignment_connects_pins() {
+        let design = two_pin_design((1, 1), (10, 7));
+        let (_, routes) = assign_design(&design);
+        let r = &routes[0];
+        assert!(r.is_connected());
+        assert_eq!(r.wirelength(), 15); // L geometry preserved
+        let touched = r.touched_points();
+        assert!(touched.contains(&Point2::new(1, 1).on_layer(0)));
+        assert!(touched.contains(&Point2::new(10, 7).on_layer(0)));
+    }
+
+    #[test]
+    fn segments_respect_layer_directions() {
+        let design = two_pin_design((2, 3), (11, 12));
+        let (g, routes) = assign_design(&design);
+        for s in routes[0].segments() {
+            let dir = if s.is_horizontal() {
+                Direction::Horizontal
+            } else {
+                Direction::Vertical
+            };
+            assert_eq!(
+                g.layer(s.layer).direction,
+                dir,
+                "segment {s} on wrong layer"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_design_assigns_and_connects() {
+        let design = Generator::tiny(9).generate();
+        let mut g = GridGraph::new(16, 16, 5, CostParams::default()).expect("valid");
+        g.fill_capacity(4.0);
+        let mut p = Projection::from_graph(&g);
+        let plans = TwoDRouter::new().route_all(&design, &mut p);
+        let routes = LayerAssigner::new()
+            .assign_all(&design, &mut g, &plans)
+            .expect("valid");
+        for (net, route) in design.nets().iter().zip(&routes) {
+            assert!(route.is_connected(), "net {} broken", net.name());
+            let pins = net.distinct_positions();
+            if pins.len() > 1 {
+                let touched = route.touched_points();
+                for pin in pins {
+                    assert!(touched.contains(&pin.on_layer(0)));
+                }
+            }
+        }
+        // Demand on the grid equals the union geometry.
+        let wl: u64 = routes.iter().map(Route::wirelength).sum();
+        assert_eq!(g.report().total_wire_demand, wl as f64);
+    }
+
+    #[test]
+    fn congestion_steers_layer_choice() {
+        let design = two_pin_design((1, 8), (14, 8));
+        let mut g = graph();
+        // Saturate M1 along the straight row; M3/M5 remain.
+        let mut blocker = Route::new();
+        blocker.push_segment(Segment::new(1, Point2::new(0, 8), Point2::new(15, 8)));
+        for _ in 0..6 {
+            g.commit(&blocker).expect("valid");
+        }
+        let mut p = Projection::from_graph(&g);
+        let plans = TwoDRouter::new().route_all(&design, &mut p);
+        let routes = LayerAssigner::new()
+            .assign_all(&design, &mut g, &plans)
+            .expect("valid");
+        assert!(routes[0].segments().iter().all(|s| s.layer != 1));
+    }
+}

@@ -1,0 +1,76 @@
+//! 2-D projected global routing with layer assignment — the classic
+//! FastRoute/NTHU-Route-style alternative to FastGR's direct 3-D flow.
+//!
+//! Section II-A of the paper contrasts the two families: "Many 2-D global
+//! routers set the via capacity as infinite to ignore the cost of vias,
+//! while some 3-D global routers consider the via capacity, e.g., CUGR."
+//! This crate implements the 2-D family so the repository can *measure*
+//! that trade-off (see the `reproduce ablations` harness):
+//!
+//! 1. [`Projection`] — collapse the 3-D grid into one 2-D grid per routing
+//!    direction (capacities summed over same-direction layers);
+//! 2. [`TwoDRouter`] — congestion-aware 2-D L-shape pattern routing over
+//!    the projection, producing per-net 2-D segment plans;
+//! 3. [`LayerAssigner`] — per-net dynamic-programming layer assignment of
+//!    the fixed 2-D geometry onto the real 3-D grid, inserting via stacks
+//!    at bends, junctions and pins.
+//!
+//! The output is ordinary [`Route`] geometry, directly comparable (same
+//! grid, same metrics) with FastGR's 3-D pattern routing.
+//!
+//! # Example
+//!
+//! ```
+//! use fastgr_assign::TwoDFlow;
+//! use fastgr_design::Generator;
+//! use fastgr_grid::CostParams;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = Generator::tiny(3).generate();
+//! let mut graph = design.build_graph(CostParams::default())?;
+//! let routes = TwoDFlow::new().run(&design, &mut graph)?;
+//! assert_eq!(routes.len(), design.nets().len());
+//! assert!(routes.iter().all(|r| r.is_connected()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assigner;
+mod projection;
+mod router2d;
+
+pub use assigner::LayerAssigner;
+pub use projection::Projection;
+pub use router2d::{Plan2D, Segment2D, TwoDRouter};
+
+use fastgr_design::Design;
+use fastgr_grid::{GridError, GridGraph, Route};
+
+/// The complete 2-D + layer-assignment flow as one call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoDFlow {
+    _private: (),
+}
+
+impl TwoDFlow {
+    /// Creates the flow with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes `design`: 2-D pattern routing over the projection of `graph`,
+    /// then layer assignment onto `graph` (demand committed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridError`] on commit failures (internal invariant —
+    /// assigned routes are always valid).
+    pub fn run(&self, design: &Design, graph: &mut GridGraph) -> Result<Vec<Route>, GridError> {
+        let mut projection = Projection::from_graph(graph);
+        let plans = TwoDRouter::new().route_all(design, &mut projection);
+        LayerAssigner::new().assign_all(design, graph, &plans)
+    }
+}

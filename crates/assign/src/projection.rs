@@ -1,0 +1,250 @@
+//! The 2-D projection of a 3-D routing grid.
+
+use std::fmt;
+
+use fastgr_grid::{Direction, GridGraph, Point2};
+
+/// A 2-D routing grid: one horizontal and one vertical edge plane whose
+/// capacities are the per-direction sums over the 3-D grid's layers — the
+/// abstraction "2-D global routers" operate on.
+///
+/// Costs use the same logistic congestion model as the 3-D grid (via the
+/// source graph's [`CostParams`](fastgr_grid::CostParams)), but vias are
+/// invisible at this level (the classic 2-D simplification the paper calls
+/// out).
+#[derive(Debug, Clone)]
+pub struct Projection {
+    width: u16,
+    height: u16,
+    h_capacity: Vec<f64>,
+    h_demand: Vec<f64>,
+    v_capacity: Vec<f64>,
+    v_demand: Vec<f64>,
+    unit_wire: f64,
+    overflow_weight: f64,
+    logistic_slope: f64,
+}
+
+impl Projection {
+    /// Projects the 3-D grid: per 2-D edge, capacity is the sum of the
+    /// same-direction layer capacities at that position.
+    pub fn from_graph(graph: &GridGraph) -> Self {
+        let (w, h) = (graph.width(), graph.height());
+        let mut h_capacity = vec![0.0; (w as usize - 1) * h as usize];
+        let mut v_capacity = vec![0.0; w as usize * (h as usize - 1)];
+        for l in 1..graph.num_layers() {
+            match graph.layer(l).direction {
+                Direction::Horizontal => {
+                    for y in 0..h {
+                        for x in 0..w - 1 {
+                            let i = y as usize * (w as usize - 1) + x as usize;
+                            h_capacity[i] +=
+                                graph.wire_capacity(l, Point2::new(x, y)).unwrap_or(0.0);
+                        }
+                    }
+                }
+                Direction::Vertical => {
+                    for x in 0..w {
+                        for y in 0..h - 1 {
+                            let i = x as usize * (h as usize - 1) + y as usize;
+                            v_capacity[i] +=
+                                graph.wire_capacity(l, Point2::new(x, y)).unwrap_or(0.0);
+                        }
+                    }
+                }
+            }
+        }
+        let params = graph.params();
+        Self {
+            width: w,
+            height: h,
+            h_demand: vec![0.0; h_capacity.len()],
+            v_demand: vec![0.0; v_capacity.len()],
+            h_capacity,
+            v_capacity,
+            unit_wire: params.unit_wire,
+            overflow_weight: params.overflow_weight,
+            logistic_slope: params.logistic_slope,
+        }
+    }
+
+    /// Grid width in G-cells.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height in G-cells.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    fn h_index(&self, p: Point2) -> Option<usize> {
+        (p.x + 1 < self.width && p.y < self.height)
+            .then(|| p.y as usize * (self.width as usize - 1) + p.x as usize)
+    }
+
+    fn v_index(&self, p: Point2) -> Option<usize> {
+        (p.y + 1 < self.height && p.x < self.width)
+            .then(|| p.x as usize * (self.height as usize - 1) + p.y as usize)
+    }
+
+    fn edge_cost(&self, demand: f64, capacity: f64) -> f64 {
+        let penalty = if capacity <= 0.0 {
+            self.overflow_weight * 16.0
+        } else {
+            self.overflow_weight / (1.0 + (-self.logistic_slope * (demand + 1.0 - capacity)).exp())
+        };
+        self.unit_wire + penalty
+    }
+
+    /// Cost of the horizontal unit edge leaving `p` rightwards
+    /// (`f64::INFINITY` when out of grid).
+    pub fn h_edge_cost(&self, p: Point2) -> f64 {
+        match self.h_index(p) {
+            Some(i) => self.edge_cost(self.h_demand[i], self.h_capacity[i]),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Cost of the vertical unit edge leaving `p` upwards.
+    pub fn v_edge_cost(&self, p: Point2) -> f64 {
+        match self.v_index(p) {
+            Some(i) => self.edge_cost(self.v_demand[i], self.v_capacity[i]),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Cost of the straight 2-D run between aligned points (0 when equal,
+    /// `f64::INFINITY` for diagonals or out-of-grid runs).
+    pub fn run_cost(&self, a: Point2, b: Point2) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if a.y == b.y {
+            let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+            (x0..x1)
+                .map(|x| self.h_edge_cost(Point2::new(x, a.y)))
+                .sum()
+        } else if a.x == b.x {
+            let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+            (y0..y1)
+                .map(|y| self.v_edge_cost(Point2::new(a.x, y)))
+                .sum()
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Adds `amount` demand to every unit edge of the straight run `a - b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on diagonal or out-of-grid runs (caller bugs).
+    pub fn add_run_demand(&mut self, a: Point2, b: Point2, amount: f64) {
+        if a == b {
+            return;
+        }
+        if a.y == b.y {
+            let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+            for x in x0..x1 {
+                let i = self.h_index(Point2::new(x, a.y)).expect("in-grid run");
+                self.h_demand[i] += amount;
+            }
+        } else if a.x == b.x {
+            let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+            for y in y0..y1 {
+                let i = self.v_index(Point2::new(a.x, y)).expect("in-grid run");
+                self.v_demand[i] += amount;
+            }
+        } else {
+            panic!("diagonal run {a} -> {b}");
+        }
+    }
+
+    /// Total 2-D overflow (sum of `demand - capacity` over overflowing
+    /// edges) — the quality signal 2-D routers optimise.
+    pub fn overflow(&self) -> f64 {
+        let h = self
+            .h_demand
+            .iter()
+            .zip(&self.h_capacity)
+            .map(|(&d, &c)| (d - c).max(0.0))
+            .sum::<f64>();
+        let v = self
+            .v_demand
+            .iter()
+            .zip(&self.v_capacity)
+            .map(|(&d, &c)| (d - c).max(0.0))
+            .sum::<f64>();
+        h + v
+    }
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "2-D projection {}x{}, overflow {:.1}",
+            self.width,
+            self.height,
+            self.overflow()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_grid::CostParams;
+
+    fn graph() -> GridGraph {
+        let mut g = GridGraph::new(8, 8, 6, CostParams::default()).expect("valid");
+        g.fill_capacity(2.0);
+        g
+    }
+
+    #[test]
+    fn capacities_sum_over_same_direction_layers() {
+        // 6 layers: M1/M3/M5 horizontal, M2/M4 vertical, each capacity 2.
+        let p = Projection::from_graph(&graph());
+        assert!(p.h_edge_cost(Point2::new(0, 0)).is_finite());
+        // Demand 5 on a horizontal projected edge (capacity 6) stays cheap;
+        // demand 7 overflows.
+        let mut p2 = p.clone();
+        for _ in 0..5 {
+            p2.add_run_demand(Point2::new(0, 0), Point2::new(1, 0), 1.0);
+        }
+        assert_eq!(p2.overflow(), 0.0);
+        p2.add_run_demand(Point2::new(0, 0), Point2::new(1, 0), 2.0);
+        assert_eq!(p2.overflow(), 1.0);
+    }
+
+    #[test]
+    fn run_cost_is_directional_sum() {
+        let p = Projection::from_graph(&graph());
+        let one = p.h_edge_cost(Point2::new(2, 3));
+        let run = p.run_cost(Point2::new(2, 3), Point2::new(6, 3));
+        assert!((run - 4.0 * one).abs() < 1e-9);
+        assert!(p
+            .run_cost(Point2::new(0, 0), Point2::new(1, 1))
+            .is_infinite());
+        assert_eq!(p.run_cost(Point2::new(3, 3), Point2::new(3, 3)), 0.0);
+    }
+
+    #[test]
+    fn demand_raises_cost() {
+        let mut p = Projection::from_graph(&graph());
+        let before = p.h_edge_cost(Point2::new(0, 0));
+        for _ in 0..8 {
+            p.add_run_demand(Point2::new(0, 0), Point2::new(1, 0), 1.0);
+        }
+        assert!(p.h_edge_cost(Point2::new(0, 0)) > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_demand_panics() {
+        let mut p = Projection::from_graph(&graph());
+        p.add_run_demand(Point2::new(0, 0), Point2::new(1, 1), 1.0);
+    }
+}

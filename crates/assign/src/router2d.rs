@@ -1,0 +1,202 @@
+//! Congestion-aware 2-D L-shape pattern routing over the projection.
+
+use std::fmt;
+
+use fastgr_design::Design;
+use fastgr_grid::Point2;
+use fastgr_steiner::SteinerBuilder;
+
+use crate::projection::Projection;
+
+/// One straight 2-D wire of a plan (direction implied by the endpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment2D {
+    /// One endpoint.
+    pub from: Point2,
+    /// The other endpoint (aligned with `from`).
+    pub to: Point2,
+}
+
+impl Segment2D {
+    /// Creates a 2-D segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are not aligned.
+    pub fn new(from: Point2, to: Point2) -> Self {
+        assert!(
+            from.is_aligned_with(to),
+            "segment endpoints must be aligned"
+        );
+        Self { from, to }
+    }
+
+    /// Whether the segment runs along the x axis (or is a point).
+    pub fn is_horizontal(&self) -> bool {
+        self.from.y == self.to.y
+    }
+
+    /// Length in G-cell edges.
+    pub fn length(&self) -> u32 {
+        self.from.manhattan_distance(self.to)
+    }
+}
+
+impl fmt::Display for Segment2D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.from, self.to)
+    }
+}
+
+/// The 2-D routing plan of one net: for every two-pin tree edge (in
+/// bottom-up order), the chain of straight segments realising it, plus the
+/// tree connectivity needed by the layer assigner.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Plan2D {
+    /// Per tree edge (bottom-up order): the straight segments from the
+    /// child position to the parent position, in walk order.
+    pub edges: Vec<Vec<Segment2D>>,
+    /// Pin G-cells of the net (for pin-access vias during assignment).
+    pub pins: Vec<Point2>,
+}
+
+impl Plan2D {
+    /// Total 2-D wirelength of the plan.
+    pub fn wirelength(&self) -> u64 {
+        self.edges
+            .iter()
+            .flat_map(|chain| chain.iter())
+            .map(|s| s.length() as u64)
+            .sum()
+    }
+}
+
+/// The 2-D pattern router. For every two-pin tree edge it evaluates the two
+/// L-shaped candidates under the projected congestion cost, keeps the
+/// cheaper one, and commits its demand before the next net (sequential
+/// net-by-net, ascending HPWL — the conventional 2-D flow).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoDRouter {
+    _private: (),
+}
+
+impl TwoDRouter {
+    /// Creates the router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes every net of `design`, committing 2-D demand to `projection`.
+    /// Returns one [`Plan2D`] per net (indexed by net id).
+    pub fn route_all(&self, design: &Design, projection: &mut Projection) -> Vec<Plan2D> {
+        let builder = SteinerBuilder::new();
+        let mut plans = vec![Plan2D::default(); design.nets().len()];
+
+        // Ascending HPWL, ties by id — the same ordering the 3-D flow uses.
+        let mut order: Vec<u32> = (0..design.nets().len() as u32).collect();
+        order.sort_by_key(|&i| (design.nets()[i as usize].hpwl(), i));
+
+        for &net_id in &order {
+            let net = &design.nets()[net_id as usize];
+            let tree = builder.build(net);
+            let mut plan = Plan2D {
+                edges: Vec::new(),
+                pins: net.distinct_positions(),
+            };
+            for edge in tree.ordered_edges() {
+                let ps = tree.node(edge.child).position;
+                let pt = tree.node(edge.parent).position;
+                let chain = self.route_edge(projection, ps, pt);
+                for s in &chain {
+                    projection.add_run_demand(s.from, s.to, 1.0);
+                }
+                plan.edges.push(chain);
+            }
+            plans[net_id as usize] = plan;
+        }
+        plans
+    }
+
+    /// Routes one two-pin edge: the cheaper of the two L candidates.
+    fn route_edge(&self, projection: &Projection, ps: Point2, pt: Point2) -> Vec<Segment2D> {
+        if ps == pt {
+            return Vec::new();
+        }
+        if ps.is_aligned_with(pt) {
+            return vec![Segment2D::new(ps, pt)];
+        }
+        let bend_a = Point2::new(pt.x, ps.y);
+        let bend_b = Point2::new(ps.x, pt.y);
+        let cost = |bend: Point2| projection.run_cost(ps, bend) + projection.run_cost(bend, pt);
+        let bend = if cost(bend_a) <= cost(bend_b) {
+            bend_a
+        } else {
+            bend_b
+        };
+        vec![Segment2D::new(ps, bend), Segment2D::new(bend, pt)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_design::{Generator, Net, NetId, Pin};
+    use fastgr_grid::{CostParams, GridGraph};
+
+    fn projection() -> Projection {
+        let mut g = GridGraph::new(16, 16, 6, CostParams::default()).expect("valid");
+        g.fill_capacity(2.0);
+        Projection::from_graph(&g)
+    }
+
+    #[test]
+    fn straight_edges_get_one_segment() {
+        let p = projection();
+        let r = TwoDRouter::new();
+        let chain = r.route_edge(&p, Point2::new(1, 5), Point2::new(9, 5));
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].length(), 8);
+    }
+
+    #[test]
+    fn bent_edges_pick_the_cheaper_l() {
+        let mut p = projection();
+        // Congest the row y = 2 so the L through y = 9 wins.
+        for x in 0..15 {
+            p.add_run_demand(Point2::new(x, 2), Point2::new(x + 1, 2), 7.0);
+        }
+        let r = TwoDRouter::new();
+        let chain = r.route_edge(&p, Point2::new(1, 2), Point2::new(12, 9));
+        assert_eq!(chain.len(), 2);
+        // First leg should go vertical (away from the congested row).
+        assert!(!chain[0].is_horizontal() || chain[0].length() == 0);
+    }
+
+    #[test]
+    fn plans_cover_every_net_and_demand_matches_wirelength() {
+        let design = Generator::tiny(6).generate();
+        let mut g = GridGraph::new(16, 16, 5, CostParams::default()).expect("valid");
+        g.fill_capacity(4.0);
+        let mut p = Projection::from_graph(&g);
+        let plans = TwoDRouter::new().route_all(&design, &mut p);
+        assert_eq!(plans.len(), design.nets().len());
+        // Every multi-position net has at least one routed edge.
+        for (net, plan) in design.nets().iter().zip(&plans) {
+            if net.distinct_positions().len() > 1 {
+                assert!(!plan.edges.is_empty(), "net {} unplanned", net.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_nets_plan_empty() {
+        let net = Net::new(NetId(0), "n", vec![Pin::new(Point2::new(3, 3), 0)]);
+        let design = fastgr_design::Design::new("d", 8, 8, 4, 2.0, vec![], vec![net]);
+        let mut g = GridGraph::new(8, 8, 4, CostParams::default()).expect("valid");
+        g.fill_capacity(2.0);
+        let mut p = Projection::from_graph(&g);
+        let plans = TwoDRouter::new().route_all(&design, &mut p);
+        assert!(plans[0].edges.is_empty());
+        assert_eq!(plans[0].wirelength(), 0);
+    }
+}

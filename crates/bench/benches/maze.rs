@@ -1,0 +1,78 @@
+//! Micro-benchmarks of 3-D maze routing: A* vs Dijkstra, growing spans,
+//! and the effect of congestion on search cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fastgr_grid::{CostParams, GridGraph, Point2, Route, Segment};
+use fastgr_maze::{MazeConfig, MazeRouter};
+
+fn graph(side: u16, layers: u8) -> GridGraph {
+    let mut g = GridGraph::new(side, side, layers, CostParams::default()).expect("valid");
+    g.fill_capacity(8.0);
+    g
+}
+
+fn bench_span(c: &mut Criterion) {
+    let g = graph(128, 6);
+    let mut group = c.benchmark_group("maze_span");
+    for span in [8u16, 32, 96] {
+        let pins = [Point2::new(4, 4), Point2::new(4 + span, 4 + span / 2)];
+        group.bench_with_input(BenchmarkId::new("astar", span), &span, |b, _| {
+            let r = MazeRouter::new(MazeConfig {
+                astar: true,
+                window_margin: 8,
+            });
+            b.iter(|| black_box(r.route(&g, &pins).expect("routable")));
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra", span), &span, |b, _| {
+            let r = MazeRouter::new(MazeConfig {
+                astar: false,
+                window_margin: 8,
+            });
+            b.iter(|| black_box(r.route(&g, &pins).expect("routable")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_congested(c: &mut Criterion) {
+    // Congestion forces detours: the search expands more vertices.
+    let mut g = graph(64, 6);
+    let mut blocker = Route::new();
+    for y in (8..56).step_by(4) {
+        blocker.push_segment(Segment::new(1, Point2::new(8, y), Point2::new(56, y)));
+        blocker.push_segment(Segment::new(3, Point2::new(8, y), Point2::new(56, y)));
+    }
+    for _ in 0..9 {
+        g.commit(&blocker).expect("valid");
+    }
+    let pins = [Point2::new(2, 30), Point2::new(60, 34)];
+    let mut group = c.benchmark_group("maze_congestion");
+    group.bench_function("congested_corridors", |b| {
+        let r = MazeRouter::default();
+        b.iter(|| black_box(r.route(&g, &pins).expect("routable")));
+    });
+    group.finish();
+}
+
+fn bench_multi_pin(c: &mut Criterion) {
+    let g = graph(96, 6);
+    let mut group = c.benchmark_group("maze_multi_pin");
+    for pins in [2usize, 5, 10] {
+        let positions: Vec<Point2> = (0..pins)
+            .map(|i| {
+                let t = i as u16;
+                Point2::new((t * 41) % 90 + 2, (t * 67) % 90 + 2)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(pins), &pins, |b, _| {
+            let r = MazeRouter::default();
+            b.iter(|| black_box(r.route(&g, &positions).expect("routable")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_span, bench_congested, bench_multi_pin);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the pattern-routing kernels: the L-shape flow vs
+//! the hybrid flow, on two-pin nets of growing size. The absolute host
+//! times here are the *sequential scalar* cost — the quantity the paper's
+//! GPU kernels divide by.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fastgr_core::{PatternDp, PatternMode, SelectionThresholds};
+use fastgr_design::{Net, NetId, Pin};
+use fastgr_grid::{CostParams, GridGraph, Point2};
+use fastgr_steiner::SteinerBuilder;
+
+fn graph(side: u16, layers: u8) -> GridGraph {
+    let mut g = GridGraph::new(side, side, layers, CostParams::default()).expect("valid");
+    g.fill_capacity(8.0);
+    g
+}
+
+fn two_pin_net(span: u16) -> Net {
+    Net::new(
+        NetId(0),
+        "bench",
+        vec![
+            Pin::new(Point2::new(1, 1), 0),
+            Pin::new(Point2::new(span, span / 2), 0),
+        ],
+    )
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = graph(128, 10);
+    let mut group = c.benchmark_group("pattern_kernels");
+    for span in [8u16, 24, 48, 96] {
+        let tree = SteinerBuilder::new().build(&two_pin_net(span));
+        group.bench_with_input(BenchmarkId::new("l_shape", span), &span, |b, _| {
+            let dp = PatternDp::new(&g, PatternMode::LShape);
+            b.iter(|| black_box(dp.route_net(&tree)));
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", span), &span, |b, _| {
+            let dp = PatternDp::new(&g, PatternMode::HybridAll);
+            b.iter(|| black_box(dp.route_net(&tree)));
+        });
+        group.bench_with_input(BenchmarkId::new("z_shape", span), &span, |b, _| {
+            let dp = PatternDp::new(&g, PatternMode::ZShape);
+            b.iter(|| black_box(dp.route_net(&tree)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // The selection technique's effect on a single medium vs large net.
+    let g = graph(128, 10);
+    let mut group = c.benchmark_group("selection");
+    let sel = SelectionThresholds::new(10, 50);
+    for (label, span) in [("small", 6u16), ("medium", 30), ("large", 100)] {
+        let tree = SteinerBuilder::new().build(&two_pin_net(span));
+        group.bench_function(BenchmarkId::new("hybrid_selected", label), |b| {
+            let dp = PatternDp::new(&g, PatternMode::Hybrid(sel));
+            b.iter(|| black_box(dp.route_net(&tree)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_pin(c: &mut Criterion) {
+    let g = graph(96, 10);
+    let mut group = c.benchmark_group("multi_pin_dp");
+    for pins in [3usize, 8, 16] {
+        let net = Net::new(
+            NetId(0),
+            "bench",
+            (0..pins)
+                .map(|i| {
+                    let t = i as u16;
+                    Pin::new(Point2::new((t * 37) % 90 + 1, (t * 53) % 90 + 1), 0)
+                })
+                .collect(),
+        );
+        let tree = SteinerBuilder::new().build(&net);
+        group.bench_with_input(BenchmarkId::new("l_shape", pins), &pins, |b, _| {
+            let dp = PatternDp::new(&g, PatternMode::LShape);
+            b.iter(|| black_box(dp.route_net(&tree)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_selection, bench_multi_pin);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the planning substrate: Steiner tree construction
+//! (with and without the optimisation passes) and whole-design planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fastgr_design::{Generator, GeneratorParams, Net, NetId, Pin, SplitMix64};
+use fastgr_grid::Point2;
+use fastgr_steiner::SteinerBuilder;
+
+fn random_net(pins: usize, side: u16, seed: u64) -> Net {
+    let mut rng = SplitMix64::new(seed);
+    Net::new(
+        NetId(0),
+        "bench",
+        (0..pins)
+            .map(|_| {
+                Pin::new(
+                    Point2::new(
+                        rng.next_below(side as u64) as u16,
+                        rng.next_below(side as u64) as u16,
+                    ),
+                    0,
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_tree");
+    for pins in [3usize, 8, 20, 48] {
+        let net = random_net(pins, 128, pins as u64);
+        group.bench_with_input(BenchmarkId::new("optimised", pins), &pins, |b, _| {
+            let builder = SteinerBuilder::new();
+            b.iter(|| black_box(builder.build(&net)));
+        });
+        group.bench_with_input(BenchmarkId::new("mst_only", pins), &pins, |b, _| {
+            let builder = SteinerBuilder::new().with_passes(0);
+            b.iter(|| black_box(builder.build(&net)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_design_planning(c: &mut Criterion) {
+    // Whole-design tree construction: the planning cost of the pattern
+    // routing stage (Fig. 5's "pattern routing planning").
+    let design = Generator::new(GeneratorParams {
+        num_nets: 3000,
+        width: 64,
+        height: 64,
+        ..GeneratorParams::default()
+    })
+    .generate();
+    c.bench_function("plan_3000_nets", |b| {
+        let builder = SteinerBuilder::new();
+        b.iter(|| {
+            let trees: Vec<_> = design.nets().iter().map(|n| builder.build(n)).collect();
+            black_box(trees)
+        });
+    });
+}
+
+criterion_group!(benches, bench_tree_construction, bench_design_planning);
+criterion_main!(benches);

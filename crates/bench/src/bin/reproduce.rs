@@ -1,0 +1,79 @@
+//! Regenerates the paper's tables and figures on the scaled synthetic
+//! suite.
+//!
+//! ```text
+//! reproduce [--full] [EXPERIMENT...]
+//!
+//! EXPERIMENT: fig3 table3 table5 table6 table7 table8 table9 table10
+//!             fig12 summary all          (default: all)
+//! --full:     run the whole 12-benchmark suite instead of the 4 smallest
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use fastgr_bench::experiments as ex;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: reproduce [--full] [fig3|table3|table5|table6|table7|table8|table9|table10|fig12|ablations|summary|all]..."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut quick = true;
+    let mut wanted: Vec<String> = Vec::new();
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => quick = false,
+            "--quick" => quick = true,
+            "--help" | "-h" => return usage(),
+            name => wanted.push(name.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+
+    let run_overall_group = wanted.iter().any(|w| {
+        matches!(
+            w.as_str(),
+            "all" | "table7" | "table8" | "table9" | "table10" | "summary"
+        )
+    });
+    // Tables VII-X and the summary share one expensive sweep.
+    let overall = run_overall_group.then(|| ex::run_overall(quick));
+
+    for w in &wanted {
+        match w.as_str() {
+            "all" => {
+                let overall = overall.as_ref().expect("computed above");
+                println!("{}", ex::table3());
+                println!("{}", ex::fig3(quick));
+                println!("{}", ex::table5(quick));
+                println!("{}", ex::fig12());
+                println!("{}", ex::table6(quick));
+                println!("{}", ex::table7_from(overall));
+                println!("{}", ex::table8_from(overall));
+                println!("{}", ex::table9_from(overall));
+                println!("{}", ex::table10_from(overall));
+                println!("{}", ex::ablations());
+                println!("{}", ex::summary_from(overall));
+            }
+            "fig3" => println!("{}", ex::fig3(quick)),
+            "ablations" => println!("{}", ex::ablations()),
+            "table3" => println!("{}", ex::table3()),
+            "table5" => println!("{}", ex::table5(quick)),
+            "fig12" => println!("{}", ex::fig12()),
+            "table6" => println!("{}", ex::table6(quick)),
+            "table7" => println!("{}", ex::table7_from(overall.as_ref().expect("ready"))),
+            "table8" => println!("{}", ex::table8_from(overall.as_ref().expect("ready"))),
+            "table9" => println!("{}", ex::table9_from(overall.as_ref().expect("ready"))),
+            "table10" => println!("{}", ex::table10_from(overall.as_ref().expect("ready"))),
+            "summary" => println!("{}", ex::summary_from(overall.as_ref().expect("ready"))),
+            _ => return usage(),
+        }
+    }
+    ExitCode::SUCCESS
+}

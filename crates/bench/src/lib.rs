@@ -1,0 +1,13 @@
+//! Benchmark harness regenerating every table and figure of the FastGR
+//! paper (see `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md`
+//! for recorded paper-vs-measured results).
+//!
+//! The heavy lifting lives in [`experiments`]; the `reproduce` binary is a
+//! thin CLI over it, and the Criterion benches under `benches/` micro-
+//! benchmark the individual kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod tables;

@@ -1,0 +1,117 @@
+//! Plain-text table formatting for the experiment reports.
+
+/// Formats a table with a header row, column alignment and a rule line —
+/// the same visual layout for every reproduced table.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_bench::tables::format_table;
+///
+/// let t = format_table(
+///     &["design", "score"],
+///     &[vec!["s18t5".into(), "123.4".into()]],
+/// );
+/// assert!(t.contains("design"));
+/// assert!(t.contains("s18t5"));
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 0 {
+                    format!("{:<w$}", c, w = widths[i])
+                } else {
+                    format!("{:>w$}", c, w = widths[i])
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds with engineering-friendly precision.
+pub fn secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.3}x")
+}
+
+/// Geometric mean of positive values (the paper's averaging convention for
+/// speedups); 0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            &["a", "metric"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn secs_picks_units() {
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.0025), "2.50ms");
+        assert_eq!(secs(0.0000025), "2.5us");
+    }
+
+    #[test]
+    fn geomean_matches_hand_value() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let _ = format_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

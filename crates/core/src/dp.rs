@@ -1,0 +1,822 @@
+//! The GPU-friendly pattern-routing dynamic program (paper Section III-D/E/F).
+//!
+//! One multi-pin net maps to one device block. Its two-pin nets (tree edges)
+//! are processed in the bottom-up DFS order; for every edge the DP computes
+//! `c*(Ps, Pt, lt)` — the minimum cost of routing the edge plus its whole
+//! child subtree, arriving at the parent position on layer `lt` — via the
+//! min-plus computation-graph flows of Eqs. 5–7 (L-shape) and 11–14
+//! (Z/hybrid shape), merged per Eq. 10. The bottom-children cost of Eq. 2 is
+//! solved exactly by via-stack interval enumeration (`O(L^2)` intervals,
+//! see `DESIGN.md` §6).
+//!
+//! Full argmin backtracking reconstructs the winning geometry, including
+//! the via stacks joining children (and the pin-layer access stacks, which
+//! this reproduction folds into the same interval formulation: a pin node
+//! forces its via stack to reach layer 0).
+
+use fastgr_gpu::flow::{chain_min_plus, merge_min, vec_mat_min_plus, Matrix};
+use fastgr_gpu::BlockProfile;
+use fastgr_grid::{GridGraph, Point2, Route, Segment, Via};
+use fastgr_steiner::{RouteTree, TreeEdge};
+
+use crate::selection::{NetClass, SelectionThresholds};
+
+/// Which candidate pattern set each two-pin net is routed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatternMode {
+    /// 3-D L-shape patterns only (`L x L` candidates) — FastGR_L.
+    LShape,
+    /// Pure Z-shape patterns (`(M + N - 2) x L^3` candidates) — the
+    /// Section III-E kernel, kept for ablation.
+    ZShape,
+    /// Hybrid shape (Z + degenerate L, `M + N` bend pairs) with the
+    /// selection technique: only *medium* nets (per the thresholds) use the
+    /// hybrid kernel, the rest use L-shape — FastGR_H.
+    Hybrid(SelectionThresholds),
+    /// Hybrid shape applied to every two-pin net regardless of size
+    /// (the "without selection" ablation of Table VI).
+    HybridAll,
+}
+
+/// Result of routing one multi-pin net with the pattern DP.
+#[derive(Debug, Clone)]
+pub struct NetDpResult {
+    /// The winning geometry (connected; includes pin-access via stacks).
+    pub route: Route,
+    /// The DP cost of the winning solution under the current congestion.
+    pub cost: f64,
+    /// Simulated device flow profile of this net's block.
+    pub profile: BlockProfile,
+}
+
+/// Per-(edge, target-layer) backtracking record.
+#[derive(Debug, Clone, Copy)]
+struct EdgeChoice {
+    /// Candidate index (pattern-dependent meaning) or `CAND_PURE_VIA`.
+    candidate: u32,
+    /// Winning source layer `ls`.
+    ls: u8,
+    /// Winning bridge layer `lb` (Z/hybrid only; unused for L-shape).
+    lb: u8,
+}
+
+const CAND_PURE_VIA: u32 = u32::MAX;
+
+/// Chosen via-stack interval and child arrival layers at a node, per `ls`.
+#[derive(Debug, Clone, Default)]
+struct StackChoice {
+    lo: u8,
+    hi: u8,
+    child_layers: Vec<u8>,
+}
+
+/// The pattern-routing DP engine for one grid state.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_core::{PatternDp, PatternMode};
+/// use fastgr_design::{Net, NetId, Pin};
+/// use fastgr_grid::{CostParams, GridGraph, Point2};
+/// use fastgr_steiner::SteinerBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut graph = GridGraph::new(16, 16, 5, CostParams::default())?;
+/// graph.fill_capacity(4.0);
+/// let net = Net::new(NetId(0), "n", vec![
+///     Pin::new(Point2::new(1, 1), 0),
+///     Pin::new(Point2::new(10, 7), 0),
+/// ]);
+/// let tree = SteinerBuilder::new().build(&net);
+/// let dp = PatternDp::new(&graph, PatternMode::LShape);
+/// let result = dp.route_net(&tree).expect("routable");
+/// assert!(result.route.is_connected());
+/// assert_eq!(result.route.wirelength(), 15); // HPWL-tight L path
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PatternDp<'g> {
+    graph: &'g GridGraph,
+    mode: PatternMode,
+}
+
+impl<'g> PatternDp<'g> {
+    /// Creates a DP engine over the given grid state.
+    pub fn new(graph: &'g GridGraph, mode: PatternMode) -> Self {
+        Self { graph, mode }
+    }
+
+    /// The pattern mode in use.
+    pub fn mode(&self) -> PatternMode {
+        self.mode
+    }
+
+    /// Routes one net given its Steiner tree. Returns `None` when no
+    /// finite-cost pattern exists (fewer than one routable layer per
+    /// direction — cannot happen on the standard suite's grids).
+    pub fn route_net(&self, tree: &RouteTree) -> Option<NetDpResult> {
+        let l = self.graph.num_layers() as usize;
+        let edges = tree.ordered_edges();
+        if edges.is_empty() {
+            // Single-node net: no geometry needed.
+            return Some(NetDpResult {
+                route: Route::new(),
+                cost: 0.0,
+                profile: BlockProfile::new(1, 1),
+            });
+        }
+
+        let n_nodes = tree.node_count();
+        // Per-edge DP tables, indexed by the edge's child node.
+        let mut edge_cost: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
+        let mut edge_choice: Vec<Vec<EdgeChoice>> = vec![Vec::new(); n_nodes];
+        // Per-node bottom cost tables (indexed by node, then ls).
+        let mut stack_choice: Vec<Vec<StackChoice>> = vec![Vec::new(); n_nodes];
+        let mut profile = BlockProfile::new(1, 0);
+
+        for &edge in &edges {
+            let v = edge.child as usize;
+            let ps = tree.node(edge.child).position;
+            let pt = tree.node(edge.parent).position;
+
+            // Bottom-children cost of the child node (Eq. 2 + pin access).
+            let child_edges = tree.child_edges(edge);
+            let child_costs: Vec<&[f64]> = child_edges
+                .iter()
+                .map(|c| edge_cost[c.child as usize].as_slice())
+                .collect();
+            let (cbc, choices) = self.bottom_cost(ps, tree.node(edge.child).is_pin, &child_costs);
+            stack_choice[v] = choices;
+            profile = profile.then(BlockProfile::new(
+                l * l,
+                1 + (child_costs.len() + 1).next_power_of_two().trailing_zeros() as usize,
+            ));
+
+            // Route the edge with the mode-selected pattern set.
+            let hpwl = ps.manhattan_distance(pt);
+            let use_hybrid = match self.mode {
+                PatternMode::LShape => false,
+                PatternMode::ZShape => true,
+                PatternMode::HybridAll => true,
+                PatternMode::Hybrid(sel) => sel.classify(hpwl) == NetClass::Medium,
+            };
+            let (cost, choice, edge_profile) = if ps == pt {
+                self.pure_via(ps, &cbc)
+            } else if use_hybrid {
+                self.z_or_hybrid(ps, pt, &cbc, matches!(self.mode, PatternMode::ZShape))
+            } else {
+                self.l_shape(ps, pt, &cbc)
+            };
+            profile = profile.then(edge_profile);
+            edge_cost[v] = cost;
+            edge_choice[v] = choice;
+        }
+
+        // Final reduction at the root (Eq. 4 generalised to multi-child
+        // roots): pick the via-stack interval covering the root pin.
+        let root = tree.root();
+        let root_children: Vec<TreeEdge> = tree
+            .node(root)
+            .children
+            .iter()
+            .map(|&c| TreeEdge {
+                child: c,
+                parent: root,
+            })
+            .collect();
+        let root_costs: Vec<&[f64]> = root_children
+            .iter()
+            .map(|c| edge_cost[c.child as usize].as_slice())
+            .collect();
+        let root_pos = tree.node(root).position;
+        let (root_total, root_stack) =
+            self.root_cost(root_pos, tree.node(root).is_pin, &root_costs)?;
+        profile = profile.then(BlockProfile::new(l * l, 2));
+
+        // Back-track the geometry.
+        let mut route = Route::new();
+        emit_stack(&mut route, root_pos, &root_stack);
+        let mut stack = Vec::new();
+        for (i, ce) in root_children.iter().enumerate() {
+            stack.push((*ce, root_stack.child_layers[i]));
+        }
+        while let Some((edge, lt)) = stack.pop() {
+            let v = edge.child as usize;
+            let choice = edge_choice[v][lt as usize];
+            let ps = tree.node(edge.child).position;
+            let pt = tree.node(edge.parent).position;
+            self.emit_edge(&mut route, ps, pt, lt, choice);
+            let node_stack = &stack_choice[v][choice.ls as usize];
+            emit_stack(&mut route, ps, node_stack);
+            for (i, ce) in tree.child_edges(edge).iter().enumerate() {
+                stack.push((*ce, node_stack.child_layers[i]));
+            }
+        }
+        // Canonicalise: tree legs may overlap (two children sharing a
+        // row); the physical net occupies each track once, so demand is
+        // committed on the union. The DP cost keeps counting legs
+        // independently (that is the objective the kernels optimise), so
+        // `cost` is an upper bound on the geometry's cost.
+        route.normalize();
+        debug_assert!(route.is_connected(), "pattern route must be connected");
+
+        Some(NetDpResult {
+            route,
+            cost: root_total,
+            profile,
+        })
+    }
+
+    /// Bottom-children cost `cbc(Ps, ls)` (Eq. 2) with pin access folded in:
+    /// for every source layer `ls`, choose the via-stack interval
+    /// `[lo, hi] ∋ ls` (with `lo = 0` forced at pins) minimising stack cost
+    /// plus each child's best arrival layer inside the interval.
+    fn bottom_cost(
+        &self,
+        pos: Point2,
+        is_pin: bool,
+        children: &[&[f64]],
+    ) -> (Vec<f64>, Vec<StackChoice>) {
+        let l = self.graph.num_layers() as usize;
+        let mut cbc = vec![f64::INFINITY; l];
+        let mut choices = vec![StackChoice::default(); l];
+        for ls in 1..l {
+            let lo_candidates: Vec<u8> = if is_pin {
+                vec![0]
+            } else {
+                (1..=ls as u8).collect()
+            };
+            for lo in lo_candidates {
+                for hi in ls as u8..l as u8 {
+                    let mut total = self.graph.via_stack_cost(pos, lo, hi);
+                    if !total.is_finite() {
+                        continue;
+                    }
+                    let mut layers = Vec::with_capacity(children.len());
+                    for child in children {
+                        let from = lo.max(1) as usize;
+                        let (best_l, best_c) =
+                            ((from)..=(hi as usize)).map(|cl| (cl, child[cl])).fold(
+                                (from, f64::INFINITY),
+                                |acc, (cl, c)| {
+                                    if c < acc.1 {
+                                        (cl, c)
+                                    } else {
+                                        acc
+                                    }
+                                },
+                            );
+                        total += best_c;
+                        layers.push(best_l as u8);
+                    }
+                    if total < cbc[ls] {
+                        cbc[ls] = total;
+                        choices[ls] = StackChoice {
+                            lo,
+                            hi,
+                            child_layers: layers,
+                        };
+                    }
+                }
+            }
+        }
+        (cbc, choices)
+    }
+
+    /// Root reduction: like [`Self::bottom_cost`] but with no outgoing edge,
+    /// minimising over the interval alone. Returns `None` when infeasible.
+    fn root_cost(
+        &self,
+        pos: Point2,
+        is_pin: bool,
+        children: &[&[f64]],
+    ) -> Option<(f64, StackChoice)> {
+        let l = self.graph.num_layers() as usize;
+        let mut best = f64::INFINITY;
+        let mut best_choice = StackChoice::default();
+        let lo_candidates: Vec<u8> = if is_pin {
+            vec![0]
+        } else {
+            (1..l as u8).collect()
+        };
+        for lo in lo_candidates {
+            for hi in lo.max(1)..l as u8 {
+                if hi < lo {
+                    continue;
+                }
+                let mut total = self.graph.via_stack_cost(pos, lo, hi);
+                if !total.is_finite() {
+                    continue;
+                }
+                let mut layers = Vec::with_capacity(children.len());
+                for child in children {
+                    let from = lo.max(1) as usize;
+                    let (best_l, best_c) = (from..=(hi as usize)).map(|cl| (cl, child[cl])).fold(
+                        (from, f64::INFINITY),
+                        |acc, (cl, c)| {
+                            if c < acc.1 {
+                                (cl, c)
+                            } else {
+                                acc
+                            }
+                        },
+                    );
+                    total += best_c;
+                    layers.push(best_l as u8);
+                }
+                if total < best {
+                    best = total;
+                    best_choice = StackChoice {
+                        lo,
+                        hi,
+                        child_layers: layers,
+                    };
+                }
+            }
+        }
+        best.is_finite().then_some((best, best_choice))
+    }
+
+    /// Degenerate edge whose endpoints share a G-cell: a pure via stack.
+    fn pure_via(&self, pos: Point2, cbc: &[f64]) -> (Vec<f64>, Vec<EdgeChoice>, BlockProfile) {
+        let l = cbc.len();
+        let mut cost = vec![f64::INFINITY; l];
+        let mut choice = vec![
+            EdgeChoice {
+                candidate: CAND_PURE_VIA,
+                ls: 0,
+                lb: 0
+            };
+            l
+        ];
+        for lt in 1..l {
+            for (ls, &bottom) in cbc.iter().enumerate().skip(1) {
+                let c = bottom + self.graph.via_stack_cost(pos, ls as u8, lt as u8);
+                if c < cost[lt] {
+                    cost[lt] = c;
+                    choice[lt] = EdgeChoice {
+                        candidate: CAND_PURE_VIA,
+                        ls: ls as u8,
+                        lb: 0,
+                    };
+                }
+            }
+        }
+        (cost, choice, BlockProfile::new(l * l, 2))
+    }
+
+    /// The GPU-friendly 3-D L-shape flow (Eqs. 5–7, Fig. 8): two bend
+    /// candidates, each an `L x L` min-plus product, merged per target
+    /// layer.
+    fn l_shape(
+        &self,
+        ps: Point2,
+        pt: Point2,
+        cbc: &[f64],
+    ) -> (Vec<f64>, Vec<EdgeChoice>, BlockProfile) {
+        let l = cbc.len();
+        let bends = [Point2::new(pt.x, ps.y), Point2::new(ps.x, pt.y)];
+        let mut candidate_values: Vec<Vec<f64>> = Vec::with_capacity(2);
+        let mut candidate_args: Vec<Vec<usize>> = Vec::with_capacity(2);
+        for bend in bends {
+            // w1[ls] = cbc(Ps, ls) + cw(Ps, B, ls)            (Eq. 5)
+            let w1: Vec<f64> = cbc
+                .iter()
+                .enumerate()
+                .map(|(ls, &c)| c + self.graph.wire_run_cost(ls as u8, ps, bend))
+                .collect();
+            // w2[ls][lt] = cv(B, ls, lt) + cw(B, T, lt)       (Eq. 6)
+            let mut w2 = Matrix::filled(l, l, f64::INFINITY);
+            for ls in 0..l {
+                for lt in 1..l {
+                    let via = self.graph.via_stack_cost(bend, ls as u8, lt as u8);
+                    let wire = self.graph.wire_run_cost(lt as u8, bend, pt);
+                    w2[(ls, lt)] = via + wire;
+                }
+            }
+            // c*(lt) = min_ls (w1[ls] + w2[ls][lt])           (Eq. 7)
+            let r = vec_mat_min_plus(&w1, &w2);
+            candidate_values.push(r.values);
+            candidate_args.push(r.argmin);
+        }
+        let merged = merge_min(&candidate_values);
+        let choice: Vec<EdgeChoice> = (0..l)
+            .map(|lt| {
+                let cand = merged.argmin[lt];
+                EdgeChoice {
+                    candidate: cand as u32,
+                    ls: candidate_args[cand][lt] as u8,
+                    lb: 0,
+                }
+            })
+            .collect();
+        // Flow: build stage + reduce over ls + merge over 2 candidates.
+        let depth = 2 + (l.next_power_of_two().trailing_zeros() as usize) + 1;
+        (merged.values, choice, BlockProfile::new(2 * l * l, depth))
+    }
+
+    /// The GPU-friendly 3-D Z-shape / hybrid flow (Eqs. 11–14, Figs. 9–10):
+    /// one chained min-plus flow per candidate bend-point pair, merged per
+    /// Eq. 10. With `z_only` the two degenerate L candidates are excluded
+    /// (`M + N - 2` candidates, Section III-E); otherwise all `M + N`
+    /// hybrid candidates are used (Section III-F).
+    fn z_or_hybrid(
+        &self,
+        ps: Point2,
+        pt: Point2,
+        cbc: &[f64],
+        z_only: bool,
+    ) -> (Vec<f64>, Vec<EdgeChoice>, BlockProfile) {
+        let l = cbc.len();
+        let (x0, x1) = (ps.x.min(pt.x), ps.x.max(pt.x));
+        let (y0, y1) = (ps.y.min(pt.y), ps.y.max(pt.y));
+
+        // Candidate bend pairs: HVH over every column, VHV over every row.
+        // `z_only` drops the pairs whose target bend coincides with Pt.
+        let mut pairs: Vec<(Point2, Point2)> = Vec::new();
+        for mx in x0..=x1 {
+            if z_only && mx == pt.x {
+                continue;
+            }
+            pairs.push((Point2::new(mx, ps.y), Point2::new(mx, pt.y)));
+        }
+        for my in y0..=y1 {
+            if z_only && my == pt.y {
+                continue;
+            }
+            pairs.push((Point2::new(ps.x, my), Point2::new(pt.x, my)));
+        }
+        debug_assert!(!pairs.is_empty());
+
+        let mut candidate_values: Vec<Vec<f64>> = Vec::with_capacity(pairs.len());
+        let mut candidate_src: Vec<Vec<usize>> = Vec::with_capacity(pairs.len());
+        let mut candidate_mid: Vec<Vec<usize>> = Vec::with_capacity(pairs.len());
+        for &(bs, bt) in &pairs {
+            // w1[ls] = cbc + cw(Ps, Bs, ls)                   (Eq. 11)
+            let w1: Vec<f64> = cbc
+                .iter()
+                .enumerate()
+                .map(|(ls, &c)| c + self.graph.wire_run_cost(ls as u8, ps, bs))
+                .collect();
+            // w2[ls][lb] = cv(Bs, ls, lb) + cw(Bs, Bt, lb)    (Eq. 12)
+            let mut w2 = Matrix::filled(l, l, f64::INFINITY);
+            // w3[lb][lt] = cv(Bt, lb, lt) + cw(Bt, T, lt)     (Eq. 13)
+            let mut w3 = Matrix::filled(l, l, f64::INFINITY);
+            for a in 0..l {
+                for b in 1..l {
+                    w2[(a, b)] = self.graph.via_stack_cost(bs, a as u8, b as u8)
+                        + self.graph.wire_run_cost(b as u8, bs, bt);
+                    w3[(a, b)] = self.graph.via_stack_cost(bt, a as u8, b as u8)
+                        + self.graph.wire_run_cost(b as u8, bt, pt);
+                }
+            }
+            // c*(i)(lt) = min_{ls, lb} (w1 + w2 + w3)          (Eq. 14)
+            let r = chain_min_plus(&w1, &w2, &w3);
+            candidate_values.push(r.values);
+            candidate_src.push(r.arg_src);
+            candidate_mid.push(r.arg_mid);
+        }
+
+        // Merge step over all candidates (Eq. 10).
+        let merged = merge_min(&candidate_values);
+        let choice: Vec<EdgeChoice> = (0..l)
+            .map(|lt| {
+                let cand = merged.argmin[lt];
+                EdgeChoice {
+                    candidate: cand as u32,
+                    ls: candidate_src[cand][lt] as u8,
+                    lb: candidate_mid[cand][lt] as u8,
+                }
+            })
+            .collect();
+        let depth = 3
+            + 2 * (l.next_power_of_two().trailing_zeros() as usize)
+            + (pairs.len().next_power_of_two().trailing_zeros() as usize);
+        (
+            merged.values,
+            choice,
+            BlockProfile::new(pairs.len() * l * l, depth),
+        )
+    }
+
+    /// Emits the wire/via geometry of one routed edge choice.
+    fn emit_edge(&self, route: &mut Route, ps: Point2, pt: Point2, lt: u8, choice: EdgeChoice) {
+        if choice.candidate == CAND_PURE_VIA {
+            route.push_via(Via::new(ps, choice.ls, lt));
+            return;
+        }
+        let use_hybrid_geometry = {
+            // Pure-via and L-shape candidates are 0/1; hybrid candidates
+            // carry a bridge layer. Distinguish by the mode that produced
+            // them: L-shape edges never set `lb`.
+            match self.mode {
+                PatternMode::LShape => false,
+                PatternMode::ZShape | PatternMode::HybridAll => true,
+                PatternMode::Hybrid(sel) => {
+                    sel.classify(ps.manhattan_distance(pt)) == NetClass::Medium
+                }
+            }
+        };
+        if !use_hybrid_geometry {
+            let bend = if choice.candidate == 0 {
+                Point2::new(pt.x, ps.y)
+            } else {
+                Point2::new(ps.x, pt.y)
+            };
+            if ps != bend {
+                route.push_segment(Segment::new(choice.ls, ps, bend));
+            }
+            route.push_via(Via::new(bend, choice.ls, lt));
+            if bend != pt {
+                route.push_segment(Segment::new(lt, bend, pt));
+            }
+        } else {
+            let (bs, bt) = self.hybrid_pair(ps, pt, choice.candidate as usize);
+            if ps != bs {
+                route.push_segment(Segment::new(choice.ls, ps, bs));
+            }
+            route.push_via(Via::new(bs, choice.ls, choice.lb));
+            if bs != bt {
+                route.push_segment(Segment::new(choice.lb, bs, bt));
+            }
+            route.push_via(Via::new(bt, choice.lb, lt));
+            if bt != pt {
+                route.push_segment(Segment::new(lt, bt, pt));
+            }
+        }
+    }
+
+    /// Reconstructs the candidate bend pair for a hybrid/Z candidate index
+    /// (must mirror the enumeration order of [`Self::z_or_hybrid`]).
+    fn hybrid_pair(&self, ps: Point2, pt: Point2, index: usize) -> (Point2, Point2) {
+        let z_only = matches!(self.mode, PatternMode::ZShape);
+        let (x0, x1) = (ps.x.min(pt.x), ps.x.max(pt.x));
+        let (y0, y1) = (ps.y.min(pt.y), ps.y.max(pt.y));
+        let mut i = 0;
+        for mx in x0..=x1 {
+            if z_only && mx == pt.x {
+                continue;
+            }
+            if i == index {
+                return (Point2::new(mx, ps.y), Point2::new(mx, pt.y));
+            }
+            i += 1;
+        }
+        for my in y0..=y1 {
+            if z_only && my == pt.y {
+                continue;
+            }
+            if i == index {
+                return (Point2::new(ps.x, my), Point2::new(pt.x, my));
+            }
+            i += 1;
+        }
+        unreachable!("candidate index {index} out of range");
+    }
+}
+
+/// Emits the via stack of a node's interval choice.
+fn emit_stack(route: &mut Route, pos: Point2, choice: &StackChoice) {
+    if choice.hi > choice.lo {
+        route.push_via(Via::new(pos, choice.lo, choice.hi));
+    }
+}
+
+/// Brute-force reference for tests: enumerate every L-shape combination of
+/// one two-pin net with both endpoints pins, no children.
+#[cfg(test)]
+fn brute_force_two_pin_l(graph: &GridGraph, ps: Point2, pt: Point2) -> f64 {
+    let l = graph.num_layers();
+    let mut best = f64::INFINITY;
+    for bend in [Point2::new(pt.x, ps.y), Point2::new(ps.x, pt.y)] {
+        for ls in 1..l {
+            for lt in 1..l {
+                // Pin access: stack 0 -> ls at Ps, 0 -> lt at Pt.
+                let c = graph.via_stack_cost(ps, 0, ls)
+                    + graph.wire_run_cost(ls, ps, bend)
+                    + graph.via_stack_cost(bend, ls, lt)
+                    + graph.wire_run_cost(lt, bend, pt)
+                    + graph.via_stack_cost(pt, 0, lt);
+                if c < best {
+                    best = c;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_design::{Net, NetId, Pin};
+    use fastgr_grid::CostParams;
+    use fastgr_steiner::SteinerBuilder;
+    use proptest::prelude::*;
+
+    fn graph(w: u16, h: u16, layers: u8) -> GridGraph {
+        let mut g = GridGraph::new(w, h, layers, CostParams::default()).expect("valid");
+        g.fill_capacity(6.0);
+        g
+    }
+
+    fn net_of(points: &[(u16, u16)]) -> Net {
+        Net::new(
+            NetId(0),
+            "n",
+            points
+                .iter()
+                .map(|&(x, y)| Pin::new(Point2::new(x, y), 0))
+                .collect(),
+        )
+    }
+
+    fn route_with(g: &GridGraph, mode: PatternMode, points: &[(u16, u16)]) -> NetDpResult {
+        let tree = SteinerBuilder::new().build(&net_of(points));
+        PatternDp::new(g, mode).route_net(&tree).expect("routable")
+    }
+
+    #[test]
+    fn two_pin_l_matches_brute_force() {
+        let g = graph(16, 16, 5);
+        let (ps, pt) = (Point2::new(2, 3), Point2::new(11, 9));
+        let r = route_with(&g, PatternMode::LShape, &[(2, 3), (11, 9)]);
+        let expect = brute_force_two_pin_l(&g, ps, pt);
+        assert!(
+            (r.cost - expect).abs() < 1e-9,
+            "dp {} vs brute {}",
+            r.cost,
+            expect
+        );
+    }
+
+    #[test]
+    fn emitted_route_cost_equals_dp_cost() {
+        let g = graph(20, 20, 6);
+        for mode in [
+            PatternMode::LShape,
+            PatternMode::HybridAll,
+            PatternMode::ZShape,
+            PatternMode::Hybrid(SelectionThresholds::new(2, 100)),
+        ] {
+            let r = route_with(&g, mode, &[(1, 1), (14, 3), (7, 16), (3, 9)]);
+            // The DP prices tree legs independently; normalised geometry
+            // costs at most that (equality when no legs overlap).
+            let recost = g.route_cost(&r.route);
+            assert!(
+                recost <= r.cost + 1e-6,
+                "{mode:?}: geometry {} costs more than the dp bound {}",
+                recost,
+                r.cost
+            );
+            assert!(r.route.is_connected(), "{mode:?}: disconnected route");
+        }
+    }
+
+    #[test]
+    fn straight_two_pin_net_routes_straight() {
+        let g = graph(16, 16, 5);
+        let r = route_with(&g, PatternMode::LShape, &[(2, 5), (12, 5)]);
+        assert_eq!(r.route.wirelength(), 10);
+        // One horizontal segment, pin stacks on both ends.
+        assert_eq!(r.route.segments().len(), 1);
+        assert!(r.route.is_connected());
+    }
+
+    #[test]
+    fn hybrid_never_costs_more_than_l_shape() {
+        let mut g = graph(24, 24, 5);
+        // Congest the two L corridors of a specific net on *every*
+        // horizontal layer (M1, M3) so only a Z through a middle row wins.
+        let mut blocker = Route::new();
+        for layer in [1u8, 3] {
+            blocker.push_segment(Segment::new(layer, Point2::new(2, 2), Point2::new(20, 2)));
+            blocker.push_segment(Segment::new(layer, Point2::new(2, 18), Point2::new(20, 18)));
+        }
+        for _ in 0..6 {
+            g.commit(&blocker).expect("valid");
+        }
+        let l = route_with(&g, PatternMode::LShape, &[(2, 2), (20, 18)]);
+        let h = route_with(&g, PatternMode::HybridAll, &[(2, 2), (20, 18)]);
+        assert!(
+            h.cost <= l.cost + 1e-9,
+            "hybrid {} must not lose to L {}",
+            h.cost,
+            l.cost
+        );
+        assert!(
+            h.cost < l.cost - 1e-9,
+            "expected a strictly better Z path here"
+        );
+    }
+
+    #[test]
+    fn selection_routes_small_nets_with_l_kernel() {
+        let g = graph(24, 24, 5);
+        let sel = SelectionThresholds::new(10, 50);
+        // HPWL 4 <= t1: small -> L geometry (single bend).
+        let r = route_with(&g, PatternMode::Hybrid(sel), &[(3, 3), (5, 5)]);
+        assert!(r.route.segments().len() <= 2);
+        assert!(r.route.is_connected());
+    }
+
+    #[test]
+    fn single_gcell_net_is_free() {
+        let g = graph(8, 8, 4);
+        let r = route_with(&g, PatternMode::LShape, &[(3, 3)]);
+        assert!(r.route.is_empty());
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn multi_pin_net_connects_all_pins() {
+        let g = graph(32, 32, 6);
+        let pts = [(2, 2), (28, 4), (15, 29), (7, 18), (22, 22)];
+        for mode in [PatternMode::LShape, PatternMode::HybridAll] {
+            let r = route_with(&g, mode, &pts);
+            assert!(r.route.is_connected());
+            let touched = r.route.touched_points();
+            for &(x, y) in &pts {
+                assert!(
+                    touched.contains(&Point2::new(x, y).on_layer(0)),
+                    "{mode:?}: pin ({x}, {y}) not connected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_steers_layer_choice() {
+        let mut g = graph(16, 16, 6);
+        let quiet = route_with(&g, PatternMode::LShape, &[(1, 8), (14, 8)]);
+        // Saturate M1 along the straight row; M3/M5 are the alternatives.
+        let mut blocker = Route::new();
+        blocker.push_segment(Segment::new(1, Point2::new(0, 8), Point2::new(15, 8)));
+        for _ in 0..8 {
+            g.commit(&blocker).expect("valid");
+        }
+        let congested = route_with(&g, PatternMode::LShape, &[(1, 8), (14, 8)]);
+        assert!(congested.cost > quiet.cost);
+        // The route must avoid M1 now.
+        assert!(congested.route.segments().iter().all(|s| s.layer != 1));
+    }
+
+    #[test]
+    fn profile_grows_with_candidates() {
+        let g = graph(32, 32, 6);
+        let l = route_with(&g, PatternMode::LShape, &[(1, 1), (25, 20)]);
+        let h = route_with(&g, PatternMode::HybridAll, &[(1, 1), (25, 20)]);
+        assert!(h.profile.threads > l.profile.threads);
+    }
+
+    #[test]
+    fn z_shape_excludes_l_candidates() {
+        // For an aligned (straight) net the Z set still contains the
+        // straight path (mx sweep includes interior columns), so routing
+        // must succeed for all modes.
+        let g = graph(16, 16, 5);
+        for mode in [
+            PatternMode::ZShape,
+            PatternMode::HybridAll,
+            PatternMode::LShape,
+        ] {
+            let r = route_with(&g, mode, &[(2, 5), (9, 5)]);
+            assert!(r.route.is_connected(), "{mode:?} failed on straight net");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dp_cost_always_matches_emitted_geometry(
+            pts in proptest::collection::hash_set((0u16..20, 0u16..20), 2..7),
+            mode_pick in 0usize..3
+        ) {
+            let g = graph(20, 20, 5);
+            let mode = [
+                PatternMode::LShape,
+                PatternMode::HybridAll,
+                PatternMode::Hybrid(SelectionThresholds::new(5, 18)),
+            ][mode_pick];
+            let pts: Vec<(u16, u16)> = pts.into_iter().collect();
+            let tree = SteinerBuilder::new().build(&net_of(&pts));
+            let r = PatternDp::new(&g, mode).route_net(&tree).expect("routable");
+            prop_assert!(r.route.is_connected());
+            // DP cost upper-bounds the normalised geometry cost.
+            prop_assert!(g.route_cost(&r.route) <= r.cost + 1e-6);
+        }
+
+        #[test]
+        fn hybrid_is_never_worse_than_l(
+            ax in 0u16..24, ay in 0u16..24, bx in 0u16..24, by in 0u16..24
+        ) {
+            let g = graph(24, 24, 6);
+            let tree = SteinerBuilder::new().build(&net_of(&[(ax, ay), (bx, by)]));
+            let l = PatternDp::new(&g, PatternMode::LShape).route_net(&tree).expect("ok");
+            let h = PatternDp::new(&g, PatternMode::HybridAll).route_net(&tree).expect("ok");
+            // The hybrid candidate set is a superset of the L set.
+            prop_assert!(h.cost <= l.cost + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type of the FastGR router.
+
+use std::error::Error;
+use std::fmt;
+
+use fastgr_grid::GridError;
+use fastgr_maze::MazeError;
+
+/// Errors reported by the FastGR router.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// The design's grid could not be built or mutated.
+    Grid(GridError),
+    /// Maze routing failed during rip-up and reroute.
+    Maze(MazeError),
+    /// The design has too few metal layers for 3-D pattern routing (at
+    /// least one routable layer per direction is required, i.e. 3 layers
+    /// counting the pin layer).
+    TooFewLayers {
+        /// Number of layers in the design.
+        layers: u8,
+    },
+    /// A net admits no finite-cost pattern (should not occur on designs
+    /// with both routing directions available).
+    NoFinitePattern {
+        /// The dense id of the offending net.
+        net: u32,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Grid(e) => write!(f, "grid error: {e}"),
+            RouteError::Maze(e) => write!(f, "maze routing error: {e}"),
+            RouteError::TooFewLayers { layers } => write!(
+                f,
+                "design has {layers} layers but 3-D pattern routing needs at least 3"
+            ),
+            RouteError::NoFinitePattern { net } => {
+                write!(f, "net n{net} admits no finite-cost routing pattern")
+            }
+        }
+    }
+}
+
+impl Error for RouteError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RouteError::Grid(e) => Some(e),
+            RouteError::Maze(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GridError> for RouteError {
+    fn from(e: GridError) -> Self {
+        RouteError::Grid(e)
+    }
+}
+
+impl From<MazeError> for RouteError {
+    fn from(e: MazeError) -> Self {
+        RouteError::Maze(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = RouteError::from(MazeError::EmptyNet);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("maze"));
+    }
+
+    #[test]
+    fn layer_error_mentions_requirement() {
+        let e = RouteError::TooFewLayers { layers: 2 };
+        assert!(e.to_string().contains("at least 3"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Routing-guide generation for the detailed router (paper Fig. 5, final
+//! step: "generate routing guide & patches").
+
+use std::fmt;
+
+use fastgr_design::Design;
+use fastgr_grid::{Point2, Rect, Route};
+
+/// One guide box: a rectangle of G-cells on one layer inside which the
+/// detailed router may place wires of the net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GuideBox {
+    /// Metal layer of the box.
+    pub layer: u8,
+    /// Covered G-cell rectangle.
+    pub rect: Rect,
+}
+
+/// The routing guides of a whole design: one box list per net.
+///
+/// Guides expand every routed wire by one G-cell on each side (the
+/// conventional guide "patch"), and cover via stacks with a unit box per
+/// layer, so the detailed router always has a connected corridor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouteGuides {
+    per_net: Vec<Vec<GuideBox>>,
+}
+
+impl RouteGuides {
+    /// Builds guides from per-net routes.
+    pub fn from_routes(design: &Design, routes: &[Route]) -> Self {
+        let (w, h) = (design.width(), design.height());
+        let per_net = routes
+            .iter()
+            .map(|route| {
+                let mut boxes = Vec::new();
+                for s in route.segments() {
+                    let rect = Rect::new(s.from, s.to).inflated(1, w, h);
+                    boxes.push(GuideBox {
+                        layer: s.layer,
+                        rect,
+                    });
+                }
+                for v in route.vias() {
+                    let unit = Rect::new(v.at, v.at).inflated(1, w, h);
+                    for layer in v.lo..=v.hi {
+                        boxes.push(GuideBox { layer, rect: unit });
+                    }
+                }
+                boxes.sort_by_key(|b| (b.layer, b.rect.lo, b.rect.hi));
+                boxes.dedup();
+                boxes
+            })
+            .collect();
+        Self { per_net }
+    }
+
+    /// The guide boxes of net `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net(&self, id: u32) -> &[GuideBox] {
+        &self.per_net[id as usize]
+    }
+
+    /// Number of nets covered.
+    pub fn net_count(&self) -> usize {
+        self.per_net.len()
+    }
+
+    /// Total number of guide boxes.
+    pub fn box_count(&self) -> usize {
+        self.per_net.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every pin of every net is covered by at least one of its
+    /// guide boxes (on any layer) — the contract the detailed router needs.
+    /// Pin-only nets (no geometry) are vacuously covered.
+    pub fn covers_pins(&self, design: &Design) -> bool {
+        design.nets().iter().all(|net| {
+            let boxes = &self.per_net[net.id().index()];
+            if boxes.is_empty() {
+                return net.distinct_positions().len() <= 1;
+            }
+            net.pins()
+                .iter()
+                .all(|pin| boxes.iter().any(|b| b.rect.contains(pin.position)))
+        })
+    }
+}
+
+impl fmt::Display for RouteGuides {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "guides: {} nets, {} boxes",
+            self.net_count(),
+            self.box_count()
+        )
+    }
+}
+
+/// Convenience: the guide boxes covering a G-cell for one net.
+impl RouteGuides {
+    /// Boxes of net `id` on `layer` containing `at`.
+    pub fn boxes_at(&self, id: u32, layer: u8, at: Point2) -> impl Iterator<Item = &GuideBox> {
+        self.per_net[id as usize]
+            .iter()
+            .filter(move |b| b.layer == layer && b.rect.contains(at))
+    }
+}
+
+impl RouteGuides {
+    /// Serialises the guides in the ISPD / CUGR `.guide` text format — one
+    /// block per net:
+    ///
+    /// ```text
+    /// <net name>
+    /// (
+    /// <x0> <y0> <x1> <y1> M<layer>
+    /// ...
+    /// )
+    /// ```
+    ///
+    /// Coordinates are inclusive G-cell indices. This is the file a
+    /// detailed router (Dr. CU, TritonRoute) consumes.
+    pub fn to_guide_text(&self, design: &Design) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for net in design.nets() {
+            let _ = writeln!(out, "{}", net.name());
+            let _ = writeln!(out, "(");
+            for b in self.net(net.id().0) {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {} M{}",
+                    b.rect.lo.x, b.rect.lo.y, b.rect.hi.x, b.rect.hi.y, b.layer
+                );
+            }
+            let _ = writeln!(out, ")");
+        }
+        out
+    }
+
+    /// Parses guides from the `.guide` text format produced by
+    /// [`RouteGuides::to_guide_text`]. Net blocks must appear in net-id
+    /// order matching `design`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending line when the
+    /// text is malformed or inconsistent with `design`.
+    pub fn from_guide_text(design: &Design, text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate().peekable();
+        let mut per_net = Vec::with_capacity(design.nets().len());
+        for net in design.nets() {
+            let (no, name) = lines
+                .next()
+                .ok_or_else(|| format!("unexpected EOF, expected net {}", net.name()))?;
+            if name.trim() != net.name() {
+                return Err(format!(
+                    "line {}: expected net {}, found {:?}",
+                    no + 1,
+                    net.name(),
+                    name
+                ));
+            }
+            match lines.next() {
+                Some((_, l)) if l.trim() == "(" => {}
+                other => {
+                    return Err(format!(
+                        "net {}: expected '(' after the name, found {:?}",
+                        net.name(),
+                        other.map(|(_, l)| l)
+                    ))
+                }
+            }
+            let mut boxes = Vec::new();
+            loop {
+                let (no, line) = lines
+                    .next()
+                    .ok_or_else(|| format!("unexpected EOF inside net {}", net.name()))?;
+                let line = line.trim();
+                if line == ")" {
+                    break;
+                }
+                let mut it = line.split_whitespace();
+                let mut coord = || -> Result<u16, String> {
+                    it.next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| format!("line {}: bad guide box {:?}", no + 1, line))
+                };
+                let (x0, y0, x1, y1) = (coord()?, coord()?, coord()?, coord()?);
+                let layer_tok = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing layer", no + 1))?;
+                let layer: u8 = layer_tok
+                    .strip_prefix('M')
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| format!("line {}: bad layer {:?}", no + 1, layer_tok))?;
+                if x1 >= design.width() || y1 >= design.height() || layer >= design.layers() {
+                    return Err(format!("line {}: guide box outside the grid", no + 1));
+                }
+                boxes.push(GuideBox {
+                    layer,
+                    rect: Rect::new(Point2::new(x0, y0), Point2::new(x1, y1)),
+                });
+            }
+            per_net.push(boxes);
+        }
+        Ok(Self { per_net })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::PatternMode;
+    use crate::ordering::SortingScheme;
+    use crate::pattern::{PatternEngine, PatternStage};
+    use fastgr_design::Generator;
+    use fastgr_grid::CostParams;
+
+    fn routed() -> (fastgr_design::Design, Vec<Route>) {
+        let design = Generator::tiny(9).generate();
+        let mut graph = design.build_graph(CostParams::default()).expect("valid");
+        let stage = PatternStage {
+            mode: PatternMode::LShape,
+            engine: PatternEngine::SequentialCpu,
+            sorting: SortingScheme::HpwlAscending,
+            steiner_passes: 4,
+            congestion_aware_planning: false,
+        };
+        let routes = stage.run(&design, &mut graph).expect("ok").routes;
+        (design, routes)
+    }
+
+    #[test]
+    fn guides_cover_every_pin() {
+        let (design, routes) = routed();
+        let guides = RouteGuides::from_routes(&design, &routes);
+        assert!(guides.covers_pins(&design));
+        assert_eq!(guides.net_count(), design.nets().len());
+        assert!(guides.box_count() > 0);
+    }
+
+    #[test]
+    fn via_stacks_produce_boxes_on_every_layer() {
+        let (design, routes) = routed();
+        let guides = RouteGuides::from_routes(&design, &routes);
+        // Find a net with a via stack and check per-layer coverage.
+        let (id, via) = routes
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| r.vias().first().map(|v| (i as u32, *v)))
+            .expect("some net has vias");
+        for layer in via.lo..=via.hi {
+            assert!(
+                guides.boxes_at(id, layer, via.at).next().is_some(),
+                "layer {layer} of via stack uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn guide_text_round_trips() {
+        let (design, routes) = routed();
+        let guides = RouteGuides::from_routes(&design, &routes);
+        let text = guides.to_guide_text(&design);
+        let back = RouteGuides::from_guide_text(&design, &text).expect("own output parses");
+        assert_eq!(guides, back);
+    }
+
+    #[test]
+    fn guide_text_rejects_corruption() {
+        let (design, routes) = routed();
+        let guides = RouteGuides::from_routes(&design, &routes);
+        let text = guides.to_guide_text(&design);
+        // Wrong net name.
+        let bad = text.replacen("net0", "wrong", 1);
+        assert!(RouteGuides::from_guide_text(&design, &bad).is_err());
+        // Out-of-grid box.
+        let bad = text.replace(" M1", " M99");
+        assert!(RouteGuides::from_guide_text(&design, &bad).is_err());
+        // Truncation.
+        let bad = &text[..text.len() / 2];
+        assert!(RouteGuides::from_guide_text(&design, bad).is_err());
+    }
+
+    #[test]
+    fn boxes_stay_on_grid() {
+        let (design, routes) = routed();
+        let guides = RouteGuides::from_routes(&design, &routes);
+        for id in 0..guides.net_count() as u32 {
+            for b in guides.net(id) {
+                assert!(b.rect.hi.x < design.width());
+                assert!(b.rect.hi.y < design.height());
+            }
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The pattern routing stage driver (paper Sections III-C/D/E/F, Fig. 7).
+//!
+//! Planning (Steiner trees + net ordering + batch extraction) happens on the
+//! host; each conflict-free batch of multi-pin nets then becomes one kernel
+//! launch with one block per net. The baseline engine instead routes nets
+//! one by one on the CPU, which is what CUGR does.
+
+use std::time::Instant;
+
+use fastgr_design::Design;
+use fastgr_gpu::{Device, DeviceConfig};
+use fastgr_grid::{GridGraph, Rect, Route};
+use fastgr_steiner::{RouteTree, SteinerBuilder};
+use fastgr_taskgraph::{extract_batches, ConflictGraph};
+
+use crate::dp::{PatternDp, PatternMode};
+use crate::error::RouteError;
+use crate::ordering::SortingScheme;
+
+/// How the pattern kernels are executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PatternEngine {
+    /// The GPU-friendly flow kernels on the simulated device: blocks = nets
+    /// of one batch; reported PATTERN time is the modelled device time.
+    GpuFlow(DeviceConfig),
+    /// Sequential net-by-net dynamic programming on the CPU (the CUGR
+    /// baseline); reported PATTERN time is measured wall time.
+    SequentialCpu,
+    /// Batch-parallel dynamic programming on CPU worker threads: the nets
+    /// of each conflict-free batch route concurrently through the
+    /// Taskflow-substitute executor (the paper's scheduler applied to the
+    /// pattern stage without a GPU). Reported PATTERN time is measured
+    /// wall time.
+    ParallelCpu {
+        /// Worker thread count (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+/// Outcome of the pattern routing stage.
+#[derive(Debug, Clone)]
+pub struct PatternOutcome {
+    /// Routed geometry per net id (committed to the grid).
+    pub routes: Vec<Route>,
+    /// The Steiner trees (reused by examples and by rip-up diagnostics).
+    pub trees: Vec<RouteTree>,
+    /// Number of conflict-free batches the scheduler produced.
+    pub batch_count: usize,
+    /// Host seconds spent planning (Steiner trees, sorting, batching).
+    pub planning_seconds: f64,
+    /// Measured host seconds of the routing work itself.
+    pub host_seconds: f64,
+    /// Modelled device seconds (GPU engine only).
+    pub modeled_gpu_seconds: Option<f64>,
+    /// The PATTERN runtime this engine reports: modelled device time for
+    /// the GPU engine, measured wall time for the sequential engine.
+    pub reported_seconds: f64,
+}
+
+/// The pattern routing stage.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_core::{PatternEngine, PatternMode, PatternStage, SortingScheme};
+/// use fastgr_design::Generator;
+/// use fastgr_grid::CostParams;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = Generator::tiny(3).generate();
+/// let mut graph = design.build_graph(CostParams::default())?;
+/// let stage = PatternStage {
+///     mode: PatternMode::LShape,
+///     engine: PatternEngine::SequentialCpu,
+///     sorting: SortingScheme::HpwlAscending,
+///     steiner_passes: 4,
+///     congestion_aware_planning: false,
+/// };
+/// let outcome = stage.run(&design, &mut graph)?;
+/// assert_eq!(outcome.routes.len(), design.nets().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PatternStage {
+    /// Pattern candidate set (and selection) per two-pin net.
+    pub mode: PatternMode,
+    /// Execution engine.
+    pub engine: PatternEngine,
+    /// Internet ordering scheme for batching.
+    pub sorting: SortingScheme,
+    /// Steiner tree optimisation passes (median Steinerisation + edge
+    /// shifting); 0 leaves the raw MST — the edge-shifting ablation.
+    pub steiner_passes: usize,
+    /// Congestion-aware planning: edge shifting consults a RUDY density
+    /// map of the design so trees bend away from predicted hot spots
+    /// (CUGR's planning behaviour). Off by default.
+    pub congestion_aware_planning: bool,
+}
+
+/// Density weight converting RUDY units into G-cell-edge cost units.
+const RUDY_SHIFT_WEIGHT: f64 = 2.0;
+
+impl PatternStage {
+    /// Runs the stage: plans, routes every net, and commits all demand to
+    /// `graph`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::TooFewLayers`] if the grid cannot host both routing
+    ///   directions;
+    /// * [`RouteError::NoFinitePattern`] if a net admits no finite pattern;
+    /// * [`RouteError::Grid`] on commit failures (internal invariant).
+    pub fn run(
+        &self,
+        design: &Design,
+        graph: &mut GridGraph,
+    ) -> Result<PatternOutcome, RouteError> {
+        if graph.num_layers() < 3 {
+            return Err(RouteError::TooFewLayers {
+                layers: graph.num_layers(),
+            });
+        }
+
+        // --- Planning: Steiner trees, ordering, batch extraction. ---
+        let plan_start = Instant::now();
+        let mut builder = SteinerBuilder::new().with_passes(self.steiner_passes);
+        if self.congestion_aware_planning {
+            builder = builder.with_density(
+                crate::analysis::rudy_map(design),
+                design.width(),
+                RUDY_SHIFT_WEIGHT,
+            );
+        }
+        let trees: Vec<RouteTree> = design.nets().iter().map(|net| builder.build(net)).collect();
+        let order = self.sorting.sorted_ids(design.nets());
+        let bboxes: Vec<Rect> = design.nets().iter().map(|n| n.bounding_box()).collect();
+        let conflicts = ConflictGraph::from_bounding_boxes(&bboxes);
+        let batches = extract_batches(&order, &conflicts);
+        let planning_seconds = plan_start.elapsed().as_secs_f64();
+
+        // --- Routing. ---
+        let route_start = Instant::now();
+        let mut routes: Vec<Route> = vec![Route::new(); design.nets().len()];
+        let mut modeled_gpu_seconds = None;
+
+        match self.engine {
+            PatternEngine::GpuFlow(device_config) => {
+                let mut device = Device::new(device_config);
+                for batch in &batches {
+                    // One block per multi-pin net of the batch; results land
+                    // in per-net slots, demand commits after the launch (the
+                    // batch is conflict-free, so order within it is moot).
+                    let mut failed = None;
+                    {
+                        let dp = PatternDp::new(graph, self.mode);
+                        let batch_routes: Vec<Option<Route>> = {
+                            let mut slots: Vec<Option<Route>> = vec![None; batch.len()];
+                            device.launch("pattern", batch.len(), |b| {
+                                let net_id = batch[b];
+                                match dp.route_net(&trees[net_id as usize]) {
+                                    Some(result) => {
+                                        let profile = result.profile;
+                                        slots[b] = Some(result.route);
+                                        profile
+                                    }
+                                    None => {
+                                        failed.get_or_insert(net_id);
+                                        fastgr_gpu::BlockProfile::new(1, 1)
+                                    }
+                                }
+                            });
+                            slots
+                        };
+                        if let Some(net) = failed {
+                            return Err(RouteError::NoFinitePattern { net });
+                        }
+                        for (b, slot) in batch_routes.into_iter().enumerate() {
+                            routes[batch[b] as usize] = slot.expect("routed above");
+                        }
+                    }
+                    for &net_id in batch {
+                        graph.commit(&routes[net_id as usize])?;
+                    }
+                }
+                modeled_gpu_seconds = Some(device.stats().modeled_seconds);
+            }
+            PatternEngine::SequentialCpu => {
+                // CUGR-style: net by net in sorted order, committing each
+                // route before the next net is planned.
+                for &net_id in &order {
+                    let dp = PatternDp::new(graph, self.mode);
+                    let result = dp
+                        .route_net(&trees[net_id as usize])
+                        .ok_or(RouteError::NoFinitePattern { net: net_id })?;
+                    routes[net_id as usize] = result.route;
+                    graph.commit(&routes[net_id as usize])?;
+                }
+            }
+            PatternEngine::ParallelCpu { workers } => {
+                use fastgr_taskgraph::{Executor, Schedule};
+                use parking_lot::Mutex;
+                let executor = Executor::new(workers);
+                for batch in &batches {
+                    // All nets of a batch are mutually conflict-free, so an
+                    // edge-free schedule (disjoint unit boxes) lets the
+                    // executor run the whole batch in parallel.
+                    let ids: Vec<u32> = (0..batch.len() as u32).collect();
+                    let disjoint_boxes: Vec<Rect> = (0..batch.len())
+                        .map(|i| {
+                            let p = fastgr_grid::Point2::new((i % 60000) as u16, 0);
+                            Rect::new(p, p)
+                        })
+                        .collect();
+                    let conflicts = ConflictGraph::from_bounding_boxes(&disjoint_boxes);
+                    let schedule = Schedule::build(&ids, &conflicts);
+                    let slots: Vec<Mutex<Option<Route>>> =
+                        (0..batch.len()).map(|_| Mutex::new(None)).collect();
+                    let failed = Mutex::new(None);
+                    {
+                        let dp = PatternDp::new(graph, self.mode);
+                        executor.run(&schedule, |t| {
+                            let net_id = batch[t as usize];
+                            match dp.route_net(&trees[net_id as usize]) {
+                                Some(result) => *slots[t as usize].lock() = Some(result.route),
+                                None => {
+                                    failed.lock().get_or_insert(net_id);
+                                }
+                            }
+                        });
+                    }
+                    if let Some(net) = failed.into_inner() {
+                        return Err(RouteError::NoFinitePattern { net });
+                    }
+                    for (t, slot) in slots.into_iter().enumerate() {
+                        routes[batch[t] as usize] = slot.into_inner().expect("routed above");
+                        graph.commit(&routes[batch[t] as usize])?;
+                    }
+                }
+            }
+        }
+
+        let host_seconds = route_start.elapsed().as_secs_f64();
+        let reported_seconds = modeled_gpu_seconds.unwrap_or(host_seconds);
+        Ok(PatternOutcome {
+            routes,
+            trees,
+            batch_count: batches.len(),
+            planning_seconds,
+            host_seconds,
+            modeled_gpu_seconds,
+            reported_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_design::Generator;
+    use fastgr_grid::CostParams;
+
+    fn run(engine: PatternEngine, mode: PatternMode) -> (PatternOutcome, GridGraph) {
+        let design = Generator::tiny(11).generate();
+        let mut graph = design.build_graph(CostParams::default()).expect("valid");
+        let stage = PatternStage {
+            mode,
+            engine,
+            sorting: SortingScheme::HpwlAscending,
+            steiner_passes: 4,
+            congestion_aware_planning: false,
+        };
+        let outcome = stage.run(&design, &mut graph).expect("routable");
+        (outcome, graph)
+    }
+
+    #[test]
+    fn gpu_and_cpu_engines_route_every_net() {
+        for engine in [
+            PatternEngine::SequentialCpu,
+            PatternEngine::GpuFlow(DeviceConfig::tiny()),
+        ] {
+            let (outcome, graph) = run(engine, PatternMode::LShape);
+            assert_eq!(outcome.routes.len(), 64);
+            // Multi-G-cell nets have geometry.
+            let routed = outcome.routes.iter().filter(|r| !r.is_empty()).count();
+            assert!(routed > 32, "only {routed} nets have geometry");
+            // All demand is committed.
+            assert!(graph.report().total_wire_demand > 0.0);
+            assert!(outcome.batch_count >= 1);
+        }
+    }
+
+    #[test]
+    fn gpu_engine_reports_modeled_time() {
+        let (outcome, _) = run(
+            PatternEngine::GpuFlow(DeviceConfig::rtx3090_like()),
+            PatternMode::LShape,
+        );
+        let modeled = outcome.modeled_gpu_seconds.expect("gpu engine models time");
+        assert!(modeled > 0.0);
+        assert_eq!(outcome.reported_seconds, modeled);
+    }
+
+    #[test]
+    fn cpu_engine_reports_wall_time() {
+        let (outcome, _) = run(PatternEngine::SequentialCpu, PatternMode::LShape);
+        assert!(outcome.modeled_gpu_seconds.is_none());
+        assert_eq!(outcome.reported_seconds, outcome.host_seconds);
+    }
+
+    #[test]
+    fn both_engines_commit_identical_total_demand_per_batch_order() {
+        // The engines share the DP, so routing the same design with the
+        // same ordering yields identical geometry (the GPU engine commits
+        // per batch, but batches are conflict-free, so results agree).
+        let (a, ga) = run(PatternEngine::SequentialCpu, PatternMode::LShape);
+        let (b, gb) = run(
+            PatternEngine::GpuFlow(DeviceConfig::tiny()),
+            PatternMode::LShape,
+        );
+        let wl = |o: &PatternOutcome| o.routes.iter().map(Route::wirelength).sum::<u64>();
+        // Batch-commit vs per-net commit sees slightly different congestion;
+        // totals must be close but need not be identical. Demand totals
+        // follow wirelength.
+        let (wa, wb) = (wl(&a) as f64, wl(&b) as f64);
+        assert!((wa - wb).abs() / wa < 0.05, "wl diverged: {wa} vs {wb}");
+        assert_eq!(ga.report().total_wire_demand, wa);
+        assert_eq!(gb.report().total_wire_demand, wb);
+    }
+
+    #[test]
+    fn parallel_cpu_engine_matches_gpu_engine_routes() {
+        // Both engines route batch-by-batch with batch-level commits, so
+        // the resulting geometry must be identical.
+        let (a, _) = run(
+            PatternEngine::GpuFlow(DeviceConfig::tiny()),
+            PatternMode::LShape,
+        );
+        let (b, _) = run(
+            PatternEngine::ParallelCpu { workers: 4 },
+            PatternMode::LShape,
+        );
+        assert_eq!(a.routes, b.routes);
+        assert!(b.modeled_gpu_seconds.is_none());
+    }
+
+    #[test]
+    fn too_few_layers_is_rejected() {
+        let design = Generator::tiny(1).generate();
+        let mut graph = GridGraph::new(16, 16, 2, CostParams::default()).expect("valid");
+        let stage = PatternStage {
+            mode: PatternMode::LShape,
+            engine: PatternEngine::SequentialCpu,
+            sorting: SortingScheme::default(),
+            steiner_passes: 4,
+            congestion_aware_planning: false,
+        };
+        assert!(matches!(
+            stage.run(&design, &mut graph),
+            Err(RouteError::TooFewLayers { layers: 2 })
+        ));
+    }
+
+    #[test]
+    fn hybrid_mode_runs_end_to_end() {
+        let (outcome, graph) = run(
+            PatternEngine::GpuFlow(DeviceConfig::tiny()),
+            PatternMode::Hybrid(crate::SelectionThresholds::default()),
+        );
+        assert_eq!(outcome.routes.len(), 64);
+        assert!(graph.report().total_wire_demand > 0.0);
+    }
+}

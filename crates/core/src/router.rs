@@ -1,0 +1,353 @@
+//! The top-level FastGR router: pattern stage + RRR + scoring (Fig. 5).
+
+use std::fmt;
+
+use fastgr_design::Design;
+use fastgr_gpu::DeviceConfig;
+use fastgr_grid::{CongestionReport, CostParams, Route};
+use fastgr_maze::MazeConfig;
+
+use crate::dp::PatternMode;
+use crate::error::RouteError;
+use crate::guides::RouteGuides;
+use crate::metrics::QualityMetrics;
+use crate::ordering::SortingScheme;
+use crate::pattern::{PatternEngine, PatternStage};
+use crate::rrr::{RrrStage, RrrStrategy};
+use crate::selection::SelectionThresholds;
+
+/// Full configuration of one router variant.
+///
+/// Use the presets ([`RouterConfig::cugr`], [`RouterConfig::fastgr_l`],
+/// [`RouterConfig::fastgr_h`]) and tweak fields as needed.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Pattern candidate set per two-pin net.
+    pub pattern_mode: PatternMode,
+    /// Pattern execution engine.
+    pub engine: PatternEngine,
+    /// Internet net-ordering scheme (both stages unless overridden).
+    pub sorting: SortingScheme,
+    /// Optional override of the ordering scheme for the rip-up-and-reroute
+    /// stage only (the Table V experiment swaps schemes there while keeping
+    /// the pattern stage fixed). `None` uses [`RouterConfig::sorting`].
+    pub rrr_sorting: Option<SortingScheme>,
+    /// Number of rip-up-and-reroute iterations.
+    pub rrr_iterations: usize,
+    /// RRR parallelisation strategy.
+    pub rrr_strategy: RrrStrategy,
+    /// Worker count for the RRR executor and parallel-time model.
+    pub workers: usize,
+    /// Edge cost model parameters.
+    pub cost: CostParams,
+    /// Maze router configuration.
+    pub maze: MazeConfig,
+    /// Steiner tree optimisation passes (0 = raw MST, for ablations).
+    pub steiner_passes: usize,
+    /// Negotiation-style history cost per RRR round (0 = paper-faithful;
+    /// positive enables the negotiated-congestion extension).
+    pub history_increment: f64,
+    /// Congestion-aware (RUDY-guided) edge shifting during planning.
+    pub congestion_aware_planning: bool,
+}
+
+impl RouterConfig {
+    /// The CUGR-style baseline: sequential CPU L-shape pattern routing and
+    /// batch-barrier parallel rip-up and reroute.
+    pub fn cugr() -> Self {
+        Self {
+            pattern_mode: PatternMode::LShape,
+            engine: PatternEngine::SequentialCpu,
+            sorting: SortingScheme::HpwlAscending,
+            rrr_sorting: None,
+            rrr_iterations: 3,
+            rrr_strategy: RrrStrategy::BatchBarrier,
+            workers: 8,
+            cost: CostParams::default(),
+            maze: MazeConfig::default(),
+            steiner_passes: 4,
+            history_increment: 0.0,
+            congestion_aware_planning: false,
+        }
+    }
+
+    /// FastGR_L: the GPU-accelerated L-shape kernel plus the task graph
+    /// scheduler in both stages (the runtime-oriented variant).
+    pub fn fastgr_l() -> Self {
+        Self {
+            engine: PatternEngine::GpuFlow(DeviceConfig::rtx3090_like()),
+            rrr_strategy: RrrStrategy::TaskGraph,
+            ..Self::cugr()
+        }
+    }
+
+    /// FastGR_H: the GPU-accelerated hybrid-shape kernel with the selection
+    /// technique (the quality-oriented variant).
+    pub fn fastgr_h() -> Self {
+        Self {
+            pattern_mode: PatternMode::Hybrid(SelectionThresholds::default()),
+            ..Self::fastgr_l()
+        }
+    }
+
+    /// FastGR_H without the selection technique (hybrid kernel on every
+    /// two-pin net) — the Table VI ablation.
+    pub fn fastgr_h_no_selection() -> Self {
+        Self {
+            pattern_mode: PatternMode::HybridAll,
+            ..Self::fastgr_l()
+        }
+    }
+}
+
+/// Stage timing breakdown of one routing run.
+///
+/// "Reported" times follow the paper's accounting: PATTERN is modelled
+/// device time for GPU engines and measured wall time for the CPU engine;
+/// MAZE is the modelled parallel runtime of the chosen strategy on
+/// [`RouterConfig::workers`] workers (plus measured host time for
+/// reference).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Host seconds for planning (Steiner + sorting + batching).
+    pub planning_seconds: f64,
+    /// Reported PATTERN seconds.
+    pub pattern_seconds: f64,
+    /// Measured host seconds of the pattern stage's routing work.
+    pub pattern_host_seconds: f64,
+    /// Modelled device seconds (GPU engines only).
+    pub pattern_gpu_seconds: Option<f64>,
+    /// Reported MAZE seconds (modelled parallel).
+    pub maze_seconds: f64,
+    /// Measured host seconds of the RRR stage.
+    pub maze_host_seconds: f64,
+}
+
+impl StageTimings {
+    /// Reported total: planning + PATTERN + MAZE.
+    pub fn total_seconds(&self) -> f64 {
+        self.planning_seconds + self.pattern_seconds + self.maze_seconds
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "planning {:.3}s, pattern {:.3}s, maze {:.3}s (total {:.3}s)",
+            self.planning_seconds,
+            self.pattern_seconds,
+            self.maze_seconds,
+            self.total_seconds()
+        )
+    }
+}
+
+/// Everything a routing run produces.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// Final per-net routed geometry.
+    pub routes: Vec<Route>,
+    /// Routing guides for the detailed router.
+    pub guides: RouteGuides,
+    /// Solution quality (wirelength / vias / shorts / score).
+    pub metrics: QualityMetrics,
+    /// Final congestion statistics.
+    pub report: CongestionReport,
+    /// Stage timings.
+    pub timings: StageTimings,
+    /// Nets ripped up per RRR iteration.
+    pub nets_ripped: Vec<usize>,
+    /// Shorts (overflow) right after the pattern routing stage, before any
+    /// rip-up and reroute — the quantity the pattern kernels directly
+    /// influence.
+    pub pattern_shorts: f64,
+    /// Batches formed in the pattern stage.
+    pub pattern_batches: usize,
+}
+
+impl RoutingOutcome {
+    /// The final grid graph state is not retained; recompute metrics from
+    /// the stored routes against a fresh graph if needed. This helper
+    /// recomputes the quality metrics from `routes` and `report`.
+    fn metrics_from(routes: &[Route], report: &CongestionReport) -> QualityMetrics {
+        QualityMetrics {
+            wirelength: routes.iter().map(Route::wirelength).sum(),
+            vias: routes.iter().map(Route::via_count).sum(),
+            shorts: report.shorts(),
+        }
+    }
+}
+
+/// The FastGR router. See the crate docs for a quickstart.
+#[derive(Debug, Clone, Copy)]
+pub struct Router {
+    config: RouterConfig,
+}
+
+impl Router {
+    /// Creates a router from a configuration.
+    pub fn new(config: RouterConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Routes `design` end to end: builds the grid, runs the pattern stage,
+    /// then the rip-up-and-reroute iterations, and scores the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RouteError`] from any stage; see the stage docs.
+    pub fn run(&self, design: &Design) -> Result<RoutingOutcome, RouteError> {
+        let c = &self.config;
+        let mut graph = design.build_graph(c.cost)?;
+
+        let pattern = PatternStage {
+            mode: c.pattern_mode,
+            engine: c.engine,
+            sorting: c.sorting,
+            steiner_passes: c.steiner_passes,
+            congestion_aware_planning: c.congestion_aware_planning,
+        }
+        .run(design, &mut graph)?;
+        let mut routes = pattern.routes;
+        let pattern_shorts = graph.report().shorts();
+
+        let rrr = RrrStage {
+            iterations: c.rrr_iterations,
+            strategy: c.rrr_strategy,
+            sorting: c.rrr_sorting.unwrap_or(c.sorting),
+            maze: c.maze,
+            workers: c.workers,
+            history_increment: c.history_increment,
+        }
+        .run(design, &mut graph, &mut routes)?;
+
+        let report = graph.report();
+        let metrics = RoutingOutcome::metrics_from(&routes, &report);
+        let guides = RouteGuides::from_routes(design, &routes);
+        let timings = StageTimings {
+            planning_seconds: pattern.planning_seconds,
+            pattern_seconds: pattern.reported_seconds,
+            pattern_host_seconds: pattern.host_seconds,
+            pattern_gpu_seconds: pattern.modeled_gpu_seconds,
+            maze_seconds: rrr.modeled_parallel_seconds,
+            maze_host_seconds: rrr.host_seconds,
+        };
+        Ok(RoutingOutcome {
+            routes,
+            guides,
+            metrics,
+            report,
+            timings,
+            nets_ripped: rrr.nets_ripped,
+            pattern_shorts,
+            pattern_batches: pattern.batch_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_design::{Generator, GeneratorParams};
+
+    fn congested_design() -> Design {
+        Generator::new(GeneratorParams {
+            name: "router-test".into(),
+            width: 24,
+            height: 24,
+            layers: 6,
+            num_nets: 300,
+            capacity: 4.0,
+            hotspots: 3,
+            hotspot_affinity: 0.5,
+            blockages: 2,
+            seed: 21,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn all_presets_route_end_to_end() {
+        let design = congested_design();
+        for config in [
+            RouterConfig::cugr(),
+            RouterConfig::fastgr_l(),
+            RouterConfig::fastgr_h(),
+            RouterConfig::fastgr_h_no_selection(),
+        ] {
+            let outcome = Router::new(config).run(&design).expect("routable");
+            assert_eq!(outcome.routes.len(), design.nets().len());
+            assert!(outcome.metrics.wirelength > 0);
+            assert!(outcome.metrics.score() > 0.0);
+            assert!(outcome.guides.covers_pins(&design));
+            assert!(outcome.timings.total_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fastgr_l_reports_gpu_time_cugr_does_not() {
+        let design = Generator::tiny(4).generate();
+        let l = Router::new(RouterConfig::fastgr_l())
+            .run(&design)
+            .expect("ok");
+        let c = Router::new(RouterConfig::cugr()).run(&design).expect("ok");
+        assert!(l.timings.pattern_gpu_seconds.is_some());
+        assert!(c.timings.pattern_gpu_seconds.is_none());
+    }
+
+    #[test]
+    fn rrr_improves_or_preserves_score_vs_pattern_only() {
+        let design = congested_design();
+        let mut no_rrr = RouterConfig::cugr();
+        no_rrr.rrr_iterations = 0;
+        let with_rrr = RouterConfig::cugr();
+        let a = Router::new(no_rrr).run(&design).expect("ok");
+        let b = Router::new(with_rrr).run(&design).expect("ok");
+        assert!(
+            b.metrics.shorts <= a.metrics.shorts,
+            "rrr must not increase shorts: {} -> {}",
+            a.metrics.shorts,
+            b.metrics.shorts
+        );
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let design = Generator::tiny(8).generate();
+        let a = Router::new(RouterConfig::fastgr_l())
+            .run(&design)
+            .expect("ok");
+        let b = Router::new(RouterConfig::fastgr_l())
+            .run(&design)
+            .expect("ok");
+        assert_eq!(a.routes, b.routes);
+        assert_eq!(a.metrics.wirelength, b.metrics.wirelength);
+        assert_eq!(a.metrics.shorts, b.metrics.shorts);
+    }
+
+    #[test]
+    fn hybrid_variant_does_not_increase_shorts() {
+        let design = congested_design();
+        let l = Router::new(RouterConfig::fastgr_l())
+            .run(&design)
+            .expect("ok");
+        let h = Router::new(RouterConfig::fastgr_h())
+            .run(&design)
+            .expect("ok");
+        // The headline claim (27.855% shorts reduction) is checked in the
+        // experiment harness; here we only require "not worse" on this
+        // small fixture, with a small tolerance for noise.
+        assert!(
+            h.metrics.shorts <= l.metrics.shorts * 1.1 + 1.0,
+            "hybrid shorts {} vs L shorts {}",
+            h.metrics.shorts,
+            l.metrics.shorts
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The selection technique of FastGR_H (paper Section IV-D).
+//!
+//! Applying the hybrid-shape kernel to *every* two-pin net hurts both
+//! runtime (a handful of giant nets generate thousands of candidate bend
+//! pairs) and quality (small nets routed first grab resources the large
+//! nets need). FastGR_H therefore splits two-pin nets by bounding-box HPWL
+//! into small / medium / large classes and applies the hybrid kernel only
+//! to the medium class; small and large nets use the L-shape kernel.
+
+use std::fmt;
+
+/// Size class of a two-pin net under the selection thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetClass {
+    /// `hpwl <= t1`: routed with the L-shape kernel (~99% of nets).
+    Small,
+    /// `t1 < hpwl <= t2`: routed with the hybrid-shape kernel (~1%).
+    Medium,
+    /// `hpwl > t2`: routed with the L-shape kernel (~0.1%).
+    Large,
+}
+
+impl fmt::Display for NetClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NetClass::Small => "small",
+            NetClass::Medium => "medium",
+            NetClass::Large => "large",
+        })
+    }
+}
+
+/// The two HPWL thresholds `t1 < t2` splitting two-pin nets into classes.
+///
+/// The paper picks `t1 = 100`, `t2 = 500` on the ICCAD2019 grids (up to a
+/// few thousand G-cells per side); our suite is 10-20x smaller linearly,
+/// so the scaled defaults are `t1 = 4`, `t2 = 80` (calibrated once on
+/// `s18t5m`; Fig. 12 is reproduced by sweeping `t2`).
+///
+/// # Example
+///
+/// ```
+/// use fastgr_core::{NetClass, SelectionThresholds};
+///
+/// let sel = SelectionThresholds::default();
+/// assert_eq!(sel.classify(3), NetClass::Small);
+/// assert_eq!(sel.classify(25), NetClass::Medium);
+/// assert_eq!(sel.classify(500), NetClass::Large);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionThresholds {
+    /// Small/medium boundary (inclusive on the small side).
+    pub t1: u32,
+    /// Medium/large boundary (inclusive on the medium side).
+    pub t2: u32,
+}
+
+impl Default for SelectionThresholds {
+    fn default() -> Self {
+        Self { t1: 4, t2: 80 }
+    }
+}
+
+impl SelectionThresholds {
+    /// Creates thresholds, validating `t1 <= t2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 > t2`.
+    pub fn new(t1: u32, t2: u32) -> Self {
+        assert!(t1 <= t2, "selection thresholds must satisfy t1 <= t2");
+        Self { t1, t2 }
+    }
+
+    /// Classifies a two-pin net by its bounding-box HPWL.
+    pub fn classify(&self, hpwl: u32) -> NetClass {
+        if hpwl <= self.t1 {
+            NetClass::Small
+        } else if hpwl <= self.t2 {
+            NetClass::Medium
+        } else {
+            NetClass::Large
+        }
+    }
+}
+
+impl fmt::Display for SelectionThresholds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t1 = {}, t2 = {}", self.t1, self.t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_inclusive_downwards() {
+        let s = SelectionThresholds::new(10, 50);
+        assert_eq!(s.classify(10), NetClass::Small);
+        assert_eq!(s.classify(11), NetClass::Medium);
+        assert_eq!(s.classify(50), NetClass::Medium);
+        assert_eq!(s.classify(51), NetClass::Large);
+        assert_eq!(s.classify(0), NetClass::Small);
+    }
+
+    #[test]
+    #[should_panic(expected = "t1 <= t2")]
+    fn inverted_thresholds_panic() {
+        let _ = SelectionThresholds::new(60, 50);
+    }
+
+    #[test]
+    fn equal_thresholds_eliminate_medium() {
+        let s = SelectionThresholds::new(10, 10);
+        assert_eq!(s.classify(10), NetClass::Small);
+        assert_eq!(s.classify(11), NetClass::Large);
+    }
+
+    #[test]
+    fn display_shows_thresholds() {
+        assert_eq!(
+            SelectionThresholds::default().to_string(),
+            "t1 = 4, t2 = 80"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the text design format.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`Design::from_text`](crate::Design::from_text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseDesignError {
+    /// The first line is not a recognised `fastgr <version>` header.
+    BadHeader {
+        /// The offending line.
+        line: String,
+    },
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line_no: usize,
+        /// What the parser expected.
+        expected: &'static str,
+        /// The offending line content.
+        content: String,
+    },
+    /// The file ended before all declared nets/pins were read.
+    UnexpectedEof {
+        /// What was still expected.
+        expected: &'static str,
+    },
+    /// A parsed value is inconsistent (e.g. pin outside the grid).
+    Invalid {
+        /// 1-based line number.
+        line_no: usize,
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseDesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDesignError::BadHeader { line } => {
+                write!(f, "bad header line {line:?}, expected `fastgr 1`")
+            }
+            ParseDesignError::BadLine {
+                line_no,
+                expected,
+                content,
+            } => {
+                write!(f, "line {line_no}: expected {expected}, found {content:?}")
+            }
+            ParseDesignError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of file, expected {expected}")
+            }
+            ParseDesignError::Invalid { line_no, reason } => {
+                write!(f, "line {line_no}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ParseDesignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_line_numbers() {
+        let e = ParseDesignError::BadLine {
+            line_no: 7,
+            expected: "pin",
+            content: "xyz".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("pin"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseDesignError>();
+    }
+}

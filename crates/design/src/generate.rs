@@ -1,0 +1,331 @@
+//! Seeded synthetic design generator.
+//!
+//! Produces designs with the statistical structure the FastGR evaluation
+//! relies on (see `DESIGN.md` §4):
+//!
+//! * long-tailed pin-count distribution (mostly 2–4-pin nets, a thin tail of
+//!   large fan-out nets),
+//! * long-tailed net *extent* distribution — the bulk of nets are local,
+//!   ~1% are medium and ~0.1% span a large fraction of the die, which is
+//!   exactly the split the selection technique of Section IV-D exploits,
+//! * spatial hotspots so congestion is non-uniform (drives rip-up and
+//!   reroute), and
+//! * macro blockages that remove capacity on lower layers.
+
+use fastgr_grid::{Point2, Rect};
+
+use crate::net::{Blockage, Design, Net, NetId, Pin};
+use crate::rng::SplitMix64;
+
+/// Tunable knobs of the synthetic generator.
+///
+/// The defaults produce a small but congested design; the benchmark suite
+/// ([`crate::suite`]) overrides dimensions per benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorParams {
+    /// Design name.
+    pub name: String,
+    /// Grid width in G-cells.
+    pub width: u16,
+    /// Grid height in G-cells.
+    pub height: u16,
+    /// Number of metal layers (including pin layer 0).
+    pub layers: u8,
+    /// Number of nets to generate.
+    pub num_nets: usize,
+    /// Uniform track capacity of routable layers.
+    pub capacity: f64,
+    /// Number of congestion hotspots.
+    pub hotspots: usize,
+    /// Probability that a net is attracted to a hotspot.
+    pub hotspot_affinity: f64,
+    /// Number of macro blockages.
+    pub blockages: usize,
+    /// PRNG seed; equal seeds give byte-identical designs.
+    pub seed: u64,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        Self {
+            name: "synthetic".to_owned(),
+            width: 32,
+            height: 32,
+            layers: 6,
+            num_nets: 512,
+            capacity: 12.0,
+            hotspots: 4,
+            hotspot_affinity: 0.35,
+            blockages: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// Deterministic synthetic design generator.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_design::Generator;
+///
+/// let a = Generator::tiny(3).generate();
+/// let b = Generator::tiny(3).generate();
+/// assert_eq!(a, b); // same seed, same design
+/// ```
+#[derive(Debug, Clone)]
+pub struct Generator {
+    params: GeneratorParams,
+}
+
+impl Generator {
+    /// Creates a generator with explicit parameters.
+    pub fn new(params: GeneratorParams) -> Self {
+        Self { params }
+    }
+
+    /// A tiny 16x16, 5-layer, 64-net design for examples and tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self::new(GeneratorParams {
+            name: format!("tiny-{seed}"),
+            width: 16,
+            height: 16,
+            layers: 5,
+            num_nets: 64,
+            capacity: 8.0,
+            hotspots: 2,
+            blockages: 1,
+            seed,
+            ..GeneratorParams::default()
+        })
+    }
+
+    /// The parameters this generator will use.
+    pub fn params(&self) -> &GeneratorParams {
+        &self.params
+    }
+
+    /// Generates the design.
+    pub fn generate(&self) -> Design {
+        let p = &self.params;
+        let mut rng = SplitMix64::new(p.seed);
+
+        let hotspots: Vec<Point2> = (0..p.hotspots)
+            .map(|_| {
+                Point2::new(
+                    rng.next_range(0, p.width as u64 - 1) as u16,
+                    rng.next_range(0, p.height as u64 - 1) as u16,
+                )
+            })
+            .collect();
+
+        let blockages: Vec<Blockage> = (0..p.blockages)
+            .map(|_| {
+                let w = rng.next_range(2, (p.width as u64 / 5).max(2)) as u16;
+                let h = rng.next_range(2, (p.height as u64 / 5).max(2)) as u16;
+                let x = rng.next_range(0, (p.width - w) as u64) as u16;
+                let y = rng.next_range(0, (p.height - h) as u64) as u16;
+                // Blockages hit the lowest routable layers hardest.
+                let layer = 1 + rng.next_below(2.min(p.layers as u64 - 2).max(1)) as u8;
+                Blockage {
+                    layer,
+                    region: Rect::new(Point2::new(x, y), Point2::new(x + w - 1, y + h - 1)),
+                    factor: 0.1 + 0.3 * rng.next_f64(),
+                }
+            })
+            .collect();
+
+        let nets: Vec<Net> = (0..p.num_nets)
+            .map(|i| {
+                let id = NetId(i as u32);
+                let pins = self.generate_pins(&mut rng, &hotspots);
+                Net::new(id, format!("net{i}"), pins)
+            })
+            .collect();
+
+        Design::new(
+            p.name.clone(),
+            p.width,
+            p.height,
+            p.layers,
+            p.capacity,
+            blockages,
+            nets,
+        )
+    }
+
+    /// Draws the pin count: 2 (55%), 3 (20%), 4 (10%), 5–8 (10%),
+    /// exponential tail up to 48 (5%).
+    fn pin_count(rng: &mut SplitMix64) -> usize {
+        let r = rng.next_f64();
+        if r < 0.55 {
+            2
+        } else if r < 0.75 {
+            3
+        } else if r < 0.85 {
+            4
+        } else if r < 0.95 {
+            5 + rng.next_below(4) as usize
+        } else {
+            (8.0 + rng.next_exp(8.0)).min(48.0) as usize
+        }
+    }
+
+    /// Draws the 2-D extent of the net's bounding box. Roughly 99% small,
+    /// ~1% medium, ~0.1–0.3% large, matching the paper's split.
+    fn extent(rng: &mut SplitMix64, span: u16) -> u16 {
+        let r = rng.next_f64();
+        let span = span as f64;
+        let e = if r < 0.988 {
+            1.0 + rng.next_exp(2.5)
+        } else if r < 0.998 {
+            span / 12.0 + rng.next_exp(span / 10.0)
+        } else {
+            span / 3.0 + rng.next_f64() * span / 3.0
+        };
+        (e.round() as u16).clamp(1, span.max(2.0) as u16 - 1)
+    }
+
+    fn generate_pins(&self, rng: &mut SplitMix64, hotspots: &[Point2]) -> Vec<Pin> {
+        let p = &self.params;
+        let k = Self::pin_count(rng);
+        let ew = Self::extent(rng, p.width);
+        let eh = Self::extent(rng, p.height);
+
+        // Net centre: near a hotspot with probability `hotspot_affinity`.
+        let centre = if !hotspots.is_empty() && rng.next_bool(p.hotspot_affinity) {
+            let h = hotspots[rng.next_below(hotspots.len() as u64) as usize];
+            let dx = rng
+                .next_exp(p.width as f64 / 10.0)
+                .min(p.width as f64 / 3.0) as i32;
+            let dy = rng
+                .next_exp(p.height as f64 / 10.0)
+                .min(p.height as f64 / 3.0) as i32;
+            let sx = if rng.next_bool(0.5) { -1 } else { 1 };
+            let sy = if rng.next_bool(0.5) { -1 } else { 1 };
+            Point2::new(
+                (h.x as i32 + sx * dx).clamp(0, p.width as i32 - 1) as u16,
+                (h.y as i32 + sy * dy).clamp(0, p.height as i32 - 1) as u16,
+            )
+        } else {
+            Point2::new(
+                rng.next_range(0, p.width as u64 - 1) as u16,
+                rng.next_range(0, p.height as u64 - 1) as u16,
+            )
+        };
+
+        // Bounding box around the centre, clamped to the grid.
+        let x0 = (centre.x as i32 - ew as i32 / 2).clamp(0, p.width as i32 - 1) as u16;
+        let y0 = (centre.y as i32 - eh as i32 / 2).clamp(0, p.height as i32 - 1) as u16;
+        let x1 = (x0 + ew).min(p.width - 1);
+        let y1 = (y0 + eh).min(p.height - 1);
+
+        let mut pins = Vec::with_capacity(k);
+        // First two pins at opposite corners so the box extent is realised.
+        pins.push(Pin::new(Point2::new(x0, y0), 0));
+        pins.push(Pin::new(Point2::new(x1, y1), 0));
+        for _ in 2..k {
+            pins.push(Pin::new(
+                Point2::new(
+                    rng.next_range(x0 as u64, x1 as u64) as u16,
+                    rng.next_range(y0 as u64, y1 as u64) as u16,
+                ),
+                0,
+            ));
+        }
+        pins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = GeneratorParams {
+            seed: 99,
+            ..GeneratorParams::default()
+        };
+        let a = Generator::new(p.clone()).generate();
+        let b = Generator::new(p).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Generator::tiny(1).generate();
+        let b = Generator::tiny(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_pins_are_on_grid_layer_zero() {
+        let d = Generator::new(GeneratorParams::default()).generate();
+        for net in d.nets() {
+            for pin in net.pins() {
+                assert!(pin.position.x < d.width());
+                assert!(pin.position.y < d.height());
+                assert_eq!(pin.layer, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pin_count_distribution_is_long_tailed() {
+        let d = Generator::new(GeneratorParams {
+            num_nets: 4000,
+            width: 64,
+            height: 64,
+            ..GeneratorParams::default()
+        })
+        .generate();
+        let two = d.nets().iter().filter(|n| n.pin_count() == 2).count();
+        let big = d.nets().iter().filter(|n| n.pin_count() > 8).count();
+        assert!(two > 1800, "expected majority 2-pin nets, got {two}");
+        assert!(big > 10, "expected a tail of large nets, got {big}");
+        assert!(big < 400, "tail too fat: {big}");
+    }
+
+    #[test]
+    fn extent_distribution_matches_selection_split() {
+        // Mirrors Section IV-D: ~99% small, ~1% medium, ~0.1% large.
+        let d = Generator::new(GeneratorParams {
+            num_nets: 20_000,
+            width: 128,
+            height: 128,
+            ..GeneratorParams::default()
+        })
+        .generate();
+        let total = d.nets().len() as f64;
+        let small = d.nets().iter().filter(|n| n.hpwl() <= 12).count() as f64;
+        let large = d.nets().iter().filter(|n| n.hpwl() > 60).count() as f64;
+        assert!(small / total > 0.85, "small fraction {}", small / total);
+        assert!(large / total < 0.02, "large fraction {}", large / total);
+        assert!(large >= 1.0, "need at least one large net");
+    }
+
+    #[test]
+    fn blockages_fit_grid() {
+        let d = Generator::new(GeneratorParams {
+            blockages: 8,
+            ..GeneratorParams::default()
+        })
+        .generate();
+        assert_eq!(d.blockages().len(), 8);
+        for b in d.blockages() {
+            assert!(b.region.hi.x < d.width());
+            assert!(b.region.hi.y < d.height());
+            assert!(b.layer >= 1 && b.layer < d.layers());
+            assert!((0.0..=1.0).contains(&b.factor));
+        }
+    }
+
+    #[test]
+    fn tiny_preset_has_documented_shape() {
+        let d = Generator::tiny(42).generate();
+        assert_eq!(d.width(), 16);
+        assert_eq!(d.layers(), 5);
+        assert_eq!(d.nets().len(), 64);
+    }
+}

@@ -1,0 +1,418 @@
+//! The netlist model: pins, nets and whole designs.
+
+use std::fmt;
+
+use fastgr_grid::{CostParams, GridError, GridGraph, Point2, Rect};
+
+/// Identifier of a net within one [`Design`], dense from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The dense index as `usize` (for vector indexing).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A pin: a point of a net mapped to a G-cell on a metal layer.
+///
+/// Pins live on the lowest layers in practice; the generator places all
+/// pins on layer 0 (the unroutable pin layer), forcing routes to via up —
+/// the same situation the ICCAD2019 benchmarks create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pin {
+    /// G-cell the pin maps to.
+    pub position: Point2,
+    /// Metal layer of the pin access point.
+    pub layer: u8,
+}
+
+impl Pin {
+    /// Creates a pin.
+    pub const fn new(position: Point2, layer: u8) -> Self {
+        Self { position, layer }
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pin {} M{}", self.position, self.layer)
+    }
+}
+
+/// A multi-pin net to be routed.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_design::{Net, NetId, Pin};
+/// use fastgr_grid::Point2;
+///
+/// let net = Net::new(NetId(0), "clk", vec![
+///     Pin::new(Point2::new(0, 0), 0),
+///     Pin::new(Point2::new(7, 3), 0),
+/// ]);
+/// assert_eq!(net.hpwl(), 10);
+/// assert_eq!(net.bounding_box().area(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    id: NetId,
+    name: String,
+    pins: Vec<Pin>,
+}
+
+impl Net {
+    /// Creates a net. Duplicate pin positions are kept (they occur in real
+    /// designs when several physical pins fall into one G-cell); the Steiner
+    /// builder deduplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` is empty: a net needs at least one pin.
+    pub fn new(id: NetId, name: impl Into<String>, pins: Vec<Pin>) -> Self {
+        assert!(!pins.is_empty(), "a net needs at least one pin");
+        Self {
+            id,
+            name: name.into(),
+            pins,
+        }
+    }
+
+    /// The net's identifier.
+    pub fn id(&self) -> NetId {
+        self.id
+    }
+
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net's pins.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// Number of pins.
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The 2-D bounding box over all pins.
+    pub fn bounding_box(&self) -> Rect {
+        Rect::bounding(self.pins.iter().map(|p| p.position)).expect("nets are non-empty")
+    }
+
+    /// Half-perimeter wirelength of the bounding box (G-cell edge units).
+    pub fn hpwl(&self) -> u32 {
+        self.bounding_box().half_perimeter()
+    }
+
+    /// Distinct pin G-cell positions, sorted.
+    pub fn distinct_positions(&self) -> Vec<Point2> {
+        let mut v: Vec<Point2> = self.pins.iter().map(|p| p.position).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "net {} ({}): {} pins, hpwl {}",
+            self.name,
+            self.id,
+            self.pins.len(),
+            self.hpwl()
+        )
+    }
+}
+
+/// A macro blockage: a region of one layer with scaled-down capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blockage {
+    /// Affected metal layer.
+    pub layer: u8,
+    /// Affected region (edge lower endpoints).
+    pub region: Rect,
+    /// Capacity scale factor in `[0, 1]` (0 = fully blocked).
+    pub factor: f64,
+}
+
+/// A complete global-routing problem instance.
+///
+/// Couples the grid geometry (dimensions, layer count, uniform track
+/// capacity, blockages) with the netlist. [`Design::build_graph`]
+/// instantiates the matching [`GridGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    name: String,
+    width: u16,
+    height: u16,
+    layers: u8,
+    capacity: f64,
+    /// Per-layer capacity override (index = layer). Empty means the uniform
+    /// `capacity` applies to every routable layer; present (e.g. from an
+    /// ISPD import, where layers carry different track counts) it takes
+    /// precedence.
+    layer_capacities: Vec<f64>,
+    blockages: Vec<Blockage>,
+    nets: Vec<Net>,
+}
+
+impl Design {
+    /// Creates a design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a net's id does not match its position in `nets`, or if a
+    /// pin lies outside the `width x height` grid — these are construction
+    /// bugs, not runtime conditions.
+    pub fn new(
+        name: impl Into<String>,
+        width: u16,
+        height: u16,
+        layers: u8,
+        capacity: f64,
+        blockages: Vec<Blockage>,
+        nets: Vec<Net>,
+    ) -> Self {
+        for (i, net) in nets.iter().enumerate() {
+            assert_eq!(net.id().index(), i, "net ids must be dense and ordered");
+            for pin in net.pins() {
+                assert!(
+                    pin.position.x < width && pin.position.y < height && pin.layer < layers,
+                    "pin {pin} outside {width}x{height}x{layers} grid"
+                );
+            }
+        }
+        Self {
+            name: name.into(),
+            width,
+            height,
+            layers,
+            capacity,
+            layer_capacities: Vec::new(),
+            blockages,
+            nets,
+        }
+    }
+
+    /// Replaces the uniform capacity with explicit per-layer capacities
+    /// (index = layer; entry 0, the pin layer, is ignored). Used by the
+    /// ISPD importer, where each metal layer carries its own track count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len()` differs from the layer count.
+    pub fn with_layer_capacities(mut self, capacities: Vec<f64>) -> Self {
+        assert_eq!(
+            capacities.len(),
+            self.layers as usize,
+            "one capacity per layer"
+        );
+        self.layer_capacities = capacities;
+        self
+    }
+
+    /// The per-layer capacity override (empty = uniform
+    /// [`Design::capacity`]).
+    pub fn layer_capacities(&self) -> &[f64] {
+        &self.layer_capacities
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Grid width in G-cells.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height in G-cells.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of metal layers.
+    pub fn layers(&self) -> u8 {
+        self.layers
+    }
+
+    /// Uniform per-edge track capacity of routable layers.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The blockages.
+    pub fn blockages(&self) -> &[Blockage] {
+        &self.blockages
+    }
+
+    /// The nets, ordered by [`NetId`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Looks up a net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Total number of pins across all nets.
+    pub fn pin_count(&self) -> usize {
+        self.nets.iter().map(Net::pin_count).sum()
+    }
+
+    /// Builds the [`GridGraph`] this design routes on: uniform capacity on
+    /// routable layers, blockage regions scaled down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridError`] for degenerate dimensions (cannot happen for
+    /// generator-produced designs).
+    pub fn build_graph(&self, params: CostParams) -> Result<GridGraph, GridError> {
+        let mut g = GridGraph::new(self.width, self.height, self.layers, params)?;
+        if self.layer_capacities.is_empty() {
+            g.fill_capacity(self.capacity);
+        } else {
+            for (l, &cap) in self.layer_capacities.iter().enumerate().skip(1) {
+                g.set_layer_capacity(l as u8, cap);
+            }
+        }
+        for b in &self.blockages {
+            g.scale_region_capacity(b.layer, b.region, b.factor);
+        }
+        Ok(g)
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design {}: {} nets, {}x{} G-cells, {} layers",
+            self.name,
+            self.nets.len(),
+            self.width,
+            self.height,
+            self.layers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pin(id: u32, a: (u16, u16), b: (u16, u16)) -> Net {
+        Net::new(
+            NetId(id),
+            format!("n{id}"),
+            vec![Pin::new(a.into(), 0), Pin::new(b.into(), 0)],
+        )
+    }
+
+    #[test]
+    fn hpwl_matches_bounding_box() {
+        let n = two_pin(0, (2, 3), (7, 1));
+        assert_eq!(n.hpwl(), 7);
+        assert_eq!(n.bounding_box().width(), 6);
+        assert_eq!(n.bounding_box().height(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pin")]
+    fn empty_net_panics() {
+        let _ = Net::new(NetId(0), "bad", vec![]);
+    }
+
+    #[test]
+    fn distinct_positions_deduplicates() {
+        let n = Net::new(
+            NetId(0),
+            "n0",
+            vec![
+                Pin::new(Point2::new(1, 1), 0),
+                Pin::new(Point2::new(1, 1), 0),
+                Pin::new(Point2::new(2, 2), 0),
+            ],
+        );
+        assert_eq!(n.distinct_positions().len(), 2);
+    }
+
+    #[test]
+    fn design_builds_matching_graph() {
+        let design = Design::new(
+            "t",
+            8,
+            8,
+            4,
+            3.0,
+            vec![Blockage {
+                layer: 1,
+                region: Rect::new(Point2::new(0, 0), Point2::new(3, 3)),
+                factor: 0.0,
+            }],
+            vec![two_pin(0, (0, 0), (5, 5))],
+        );
+        let g = design.build_graph(CostParams::default()).expect("valid");
+        assert_eq!(g.num_layers(), 4);
+        assert_eq!(g.wire_capacity(1, Point2::new(5, 5)), Some(3.0));
+        assert_eq!(g.wire_capacity(1, Point2::new(1, 1)), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn out_of_order_net_ids_panic() {
+        let _ = Design::new("t", 8, 8, 4, 3.0, vec![], vec![two_pin(5, (0, 0), (1, 1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_grid_pin_panics() {
+        let _ = Design::new("t", 8, 8, 4, 3.0, vec![], vec![two_pin(0, (0, 0), (9, 1))]);
+    }
+
+    #[test]
+    fn layer_capacities_override_uniform() {
+        let d = Design::new("t", 8, 8, 4, 3.0, vec![], vec![two_pin(0, (0, 0), (5, 5))])
+            .with_layer_capacities(vec![0.0, 1.0, 2.0, 5.0]);
+        let g = d.build_graph(CostParams::default()).expect("valid");
+        assert_eq!(g.wire_capacity(1, Point2::new(0, 0)), Some(1.0));
+        assert_eq!(g.wire_capacity(3, Point2::new(0, 0)), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per layer")]
+    fn wrong_capacity_count_panics() {
+        let _ = Design::new("t", 8, 8, 4, 3.0, vec![], vec![two_pin(0, (0, 0), (1, 1))])
+            .with_layer_capacities(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_reports_shape() {
+        let d = Design::new(
+            "demo",
+            8,
+            9,
+            4,
+            3.0,
+            vec![],
+            vec![two_pin(0, (0, 0), (1, 1))],
+        );
+        assert_eq!(d.to_string(), "design demo: 1 nets, 8x9 G-cells, 4 layers");
+    }
+}

@@ -1,0 +1,306 @@
+//! The simulated device and its calibrated performance model.
+
+use std::fmt;
+
+/// Static configuration of the simulated device.
+///
+/// The defaults are calibrated once from public RTX 3090 specifications and
+/// micro-benchmark folklore and are **never tuned per design** — relative
+/// speedup shapes in the reproduction come from the algorithms, not from
+/// these constants (see `DESIGN.md` §4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors executing blocks concurrently.
+    pub sm_count: usize,
+    /// Threads that one block can run truly in parallel.
+    pub threads_per_block: usize,
+    /// Modelled time of one flow stage (one add + compare per thread plus
+    /// the reduction), in seconds.
+    pub stage_seconds: f64,
+    /// Fixed host-side cost of one kernel launch, in seconds.
+    pub launch_overhead_seconds: f64,
+}
+
+impl DeviceConfig {
+    /// An RTX-3090-like device: 82 SMs, 256-thread blocks (the realistic
+    /// occupancy for these register-heavy cost-gather kernels), 900 ns per
+    /// flow stage (dozens of clocks at 1.4 GHz including global-memory
+    /// latency), 8 µs launch overhead.
+    pub const fn rtx3090_like() -> Self {
+        Self {
+            sm_count: 82,
+            threads_per_block: 256,
+            stage_seconds: 900e-9,
+            launch_overhead_seconds: 8e-6,
+        }
+    }
+
+    /// A deliberately tiny device for tests: 2 SMs, 4-thread blocks.
+    pub const fn tiny() -> Self {
+        Self {
+            sm_count: 2,
+            threads_per_block: 4,
+            stage_seconds: 1e-6,
+            launch_overhead_seconds: 10e-6,
+        }
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::rtx3090_like()
+    }
+}
+
+/// Execution profile reported by one block: how many homogeneous threads its
+/// computation-graph flow used and how many sequential stages it has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockProfile {
+    /// Parallel threads of the widest flow stage.
+    pub threads: usize,
+    /// Sequential depth of the flow (number of dependent stages).
+    pub flow_depth: usize,
+}
+
+impl BlockProfile {
+    /// Creates a profile.
+    pub const fn new(threads: usize, flow_depth: usize) -> Self {
+        Self {
+            threads,
+            flow_depth,
+        }
+    }
+
+    /// Merges another profile executed sequentially inside the same block
+    /// (depths add, width takes the maximum).
+    pub fn then(self, other: BlockProfile) -> BlockProfile {
+        BlockProfile {
+            threads: self.threads.max(other.threads),
+            flow_depth: self.flow_depth + other.flow_depth,
+        }
+    }
+}
+
+/// Statistics of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel name (for reporting).
+    pub name: String,
+    /// Number of blocks launched.
+    pub blocks: usize,
+    /// Modelled device time in seconds.
+    pub modeled_seconds: f64,
+}
+
+/// Cumulative statistics of a device.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeviceStats {
+    /// Total number of kernel launches.
+    pub launches: usize,
+    /// Total number of blocks across launches.
+    pub blocks: usize,
+    /// Total modelled device time in seconds.
+    pub modeled_seconds: f64,
+}
+
+impl fmt::Display for DeviceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} launches, {} blocks, {:.3} ms modelled",
+            self.launches,
+            self.blocks,
+            self.modeled_seconds * 1e3
+        )
+    }
+}
+
+/// The simulated CUDA-like device.
+///
+/// Executes kernels block by block on the host while charging modelled
+/// device time. See the crate docs for the timing model and the example.
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+    stats: DeviceStats,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            config,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics since creation or the last reset.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Clears the cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+    }
+
+    /// Launches a kernel of `blocks` blocks. `run_block` is invoked once per
+    /// block (in order, on the host) and reports the block's flow profile;
+    /// the modelled kernel time is the throughput bound of the SM array,
+    /// floored by the slowest single block:
+    ///
+    /// ```text
+    /// launch_overhead + max(max_block_time, sum_block_time / sm_count)
+    /// block_time = flow_depth * ceil(threads / threads_per_block) * stage_seconds
+    /// ```
+    ///
+    /// A zero-block launch costs only the launch overhead.
+    pub fn launch<F>(&mut self, name: &str, blocks: usize, mut run_block: F) -> KernelStats
+    where
+        F: FnMut(usize) -> BlockProfile,
+    {
+        let mut max_block_time = 0.0f64;
+        let mut total_block_time = 0.0f64;
+        for b in 0..blocks {
+            let profile = run_block(b);
+            let waves = profile
+                .threads
+                .div_ceil(self.config.threads_per_block)
+                .max(1);
+            let block_time = profile.flow_depth as f64 * waves as f64 * self.config.stage_seconds;
+            total_block_time += block_time;
+            if block_time > max_block_time {
+                max_block_time = block_time;
+            }
+        }
+        let modeled_seconds = self.config.launch_overhead_seconds
+            + max_block_time.max(total_block_time / self.config.sm_count as f64);
+        self.stats.launches += 1;
+        self.stats.blocks += blocks;
+        self.stats.modeled_seconds += modeled_seconds;
+        KernelStats {
+            name: name.to_owned(),
+            blocks,
+            modeled_seconds,
+        }
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::new(DeviceConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_block_launch_costs_only_overhead() {
+        let mut d = Device::new(DeviceConfig::tiny());
+        let s = d.launch("noop", 0, |_| BlockProfile::new(1, 1));
+        assert_eq!(
+            s.modeled_seconds,
+            DeviceConfig::tiny().launch_overhead_seconds
+        );
+    }
+
+    #[test]
+    fn time_scales_with_block_rounds() {
+        let cfg = DeviceConfig::tiny(); // 2 SMs
+        let mut d = Device::new(cfg);
+        let one = d
+            .launch("k", 2, |_| BlockProfile::new(1, 3))
+            .modeled_seconds;
+        let two = d
+            .launch("k", 4, |_| BlockProfile::new(1, 3))
+            .modeled_seconds;
+        let body = |launch: f64| launch - cfg.launch_overhead_seconds;
+        assert!((body(two) - 2.0 * body(one)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_blocks_pay_thread_waves() {
+        let cfg = DeviceConfig::tiny(); // 4 threads per block
+        let mut d = Device::new(cfg);
+        let narrow = d
+            .launch("k", 1, |_| BlockProfile::new(4, 2))
+            .modeled_seconds;
+        let wide = d
+            .launch("k", 1, |_| BlockProfile::new(8, 2))
+            .modeled_seconds;
+        let body = |t: f64| t - cfg.launch_overhead_seconds;
+        assert!((body(wide) - 2.0 * body(narrow)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowest_block_dominates() {
+        let cfg = DeviceConfig::tiny();
+        let mut d = Device::new(cfg);
+        let s = d.launch("k", 2, |b| {
+            BlockProfile::new(1, if b == 0 { 1 } else { 10 })
+        });
+        let body = s.modeled_seconds - cfg.launch_overhead_seconds;
+        assert!((body - 10.0 * cfg.stage_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut d = Device::new(DeviceConfig::tiny());
+        d.launch("a", 3, |_| BlockProfile::new(1, 1));
+        d.launch("b", 5, |_| BlockProfile::new(1, 1));
+        assert_eq!(d.stats().launches, 2);
+        assert_eq!(d.stats().blocks, 8);
+        assert!(d.stats().modeled_seconds > 0.0);
+        d.reset_stats();
+        assert_eq!(d.stats(), &DeviceStats::default());
+    }
+
+    #[test]
+    fn throughput_bound_dominates_for_many_blocks() {
+        // 2 SMs, many equal blocks: time ~ total work / 2.
+        let cfg = DeviceConfig::tiny();
+        let mut d = Device::new(cfg);
+        let s = d.launch("k", 10, |_| BlockProfile::new(1, 4));
+        let body = s.modeled_seconds - cfg.launch_overhead_seconds;
+        let per_block = 4.0 * cfg.stage_seconds;
+        assert!((body - 10.0 * per_block / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_slow_block_floors_kernel_time() {
+        // One enormous block among many small ones: the kernel cannot be
+        // faster than that block even with idle SMs.
+        let cfg = DeviceConfig::tiny();
+        let mut d = Device::new(cfg);
+        let s = d.launch("k", 3, |b| {
+            BlockProfile::new(1, if b == 0 { 100 } else { 1 })
+        });
+        let body = s.modeled_seconds - cfg.launch_overhead_seconds;
+        assert!(body >= 100.0 * cfg.stage_seconds - 1e-12);
+    }
+
+    #[test]
+    fn block_profile_then_composes() {
+        let p = BlockProfile::new(16, 2).then(BlockProfile::new(4, 3));
+        assert_eq!(p.threads, 16);
+        assert_eq!(p.flow_depth, 5);
+    }
+
+    #[test]
+    fn blocks_run_in_order_on_host() {
+        let mut d = Device::new(DeviceConfig::tiny());
+        let mut seen = Vec::new();
+        d.launch("k", 4, |b| {
+            seen.push(b);
+            BlockProfile::new(1, 1)
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+}

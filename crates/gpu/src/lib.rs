@@ -1,0 +1,41 @@
+//! Software-simulated CUDA-like device for FastGR's pattern-routing kernels.
+//!
+//! The paper runs its pattern-routing computation-graph flows (Figs. 7–10)
+//! on an NVIDIA RTX 3090. No GPU is available in this reproduction, so this
+//! crate *simulates* the device (substitution documented in `DESIGN.md` §4):
+//!
+//! * the **kernels are real** — [`flow`] implements the min-plus
+//!   vector/matrix operations the paper reformulates pattern routing into,
+//!   and the routing solutions they produce are the ones used downstream;
+//! * only **timing** is modelled — [`Device::launch`] executes each block on
+//!   the host and charges simulated time from a calibrated, design-
+//!   independent performance model ([`DeviceConfig`]): one kernel costs
+//!   `launch_overhead + ceil(blocks / sm_count) * max-block-flow-time`,
+//!   where a block running a flow of depth `d` with `t` homogeneous threads
+//!   costs `d * ceil(t / threads_per_block) * stage_time`;
+//! * the paper's zero-copy host-mapped transfers are modelled by
+//!   [`ZeroCopyBuffer`], which counts mapped bytes at zero marginal time —
+//!   matching the paper's observation that zero-copy keeps transfer time
+//!   under a second.
+//!
+//! # Example
+//!
+//! ```
+//! use fastgr_gpu::{BlockProfile, Device, DeviceConfig};
+//!
+//! let mut device = Device::new(DeviceConfig::rtx3090_like());
+//! // Launch a kernel with 1000 blocks, each an 81-thread depth-2 flow.
+//! let stats = device.launch("l-shape", 1000, |_block| BlockProfile::new(81, 2));
+//! assert_eq!(stats.blocks, 1000);
+//! assert!(stats.modeled_seconds > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod device;
+pub mod flow;
+
+pub use buffer::ZeroCopyBuffer;
+pub use device::{BlockProfile, Device, DeviceConfig, DeviceStats, KernelStats};

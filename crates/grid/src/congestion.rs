@@ -1,0 +1,87 @@
+//! Aggregated congestion / overflow statistics.
+
+use std::fmt;
+
+/// Summary of routing-resource usage over a whole [`GridGraph`].
+///
+/// Produced by [`GridGraph::report`]; the *shorts* metric used in the
+/// paper's score (Eq. 15) is derived from the total overflow, because on the
+/// G-cell grid every overflowing track unit forces a short (or a detour the
+/// detailed router cannot take).
+///
+/// [`GridGraph`]: crate::GridGraph
+/// [`GridGraph::report`]: crate::GridGraph::report
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CongestionReport {
+    /// Sum of wire demand over all routable wire edges (track·G-cell units).
+    pub total_wire_demand: f64,
+    /// Sum of wire capacity over all routable wire edges.
+    pub total_wire_capacity: f64,
+    /// Sum of `demand - capacity` over overflowing wire edges.
+    pub overflow: f64,
+    /// Number of wire edges with `demand > capacity`.
+    pub overflowing_edges: u64,
+    /// Largest `demand / capacity` ratio over wire edges with capacity.
+    pub max_utilization: f64,
+    /// Sum of via demand over all via edges.
+    pub total_via_demand: f64,
+}
+
+impl CongestionReport {
+    /// The shorts metric `S` of the paper's score: total overflowing track
+    /// units, each of which the detailed router must resolve as a short.
+    pub fn shorts(&self) -> f64 {
+        self.overflow
+    }
+
+    /// Overall wire utilisation (`demand / capacity`), 0 when empty.
+    pub fn utilization(&self) -> f64 {
+        if self.total_wire_capacity > 0.0 {
+            self.total_wire_demand / self.total_wire_capacity
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for CongestionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "demand {:.1}/{:.1} ({:.1}% util), overflow {:.1} on {} edges, peak util {:.2}",
+            self.total_wire_demand,
+            self.total_wire_capacity,
+            100.0 * self.utilization(),
+            self.overflow,
+            self.overflowing_edges,
+            self.max_utilization,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_handles_empty_grid() {
+        let r = CongestionReport::default();
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.shorts(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_overflow() {
+        let r = CongestionReport {
+            total_wire_demand: 10.0,
+            total_wire_capacity: 20.0,
+            overflow: 3.0,
+            overflowing_edges: 2,
+            max_utilization: 1.5,
+            total_via_demand: 4.0,
+        };
+        let s = r.to_string();
+        assert!(s.contains("overflow 3.0 on 2 edges"));
+        assert!(s.contains("50.0% util"));
+    }
+}

@@ -1,0 +1,151 @@
+//! The CUGR-style probabilistic-resource cost model.
+//!
+//! Every wire edge has a cost `cw(u, v, l)` combining wirelength and a
+//! logistic congestion penalty; every via edge has a cost `cv(u, l1, l2)`
+//! combining a fixed via cost and the congestion around the stacked G-cell.
+//! The parameters mirror the cost scheme of CUGR (reference [3] of the
+//! paper), which FastGR adopts unchanged.
+
+/// Parameters of the edge cost model.
+///
+/// The congestion penalty of one unit wire edge with demand `d` and capacity
+/// `c` is
+///
+/// ```text
+/// penalty(d, c) = overflow_weight * logistic(slope * (d + 1 - c))
+/// logistic(x)   = 1 / (1 + exp(-x))
+/// ```
+///
+/// so a nearly-empty edge costs `unit_wire` and a full or overflowing edge
+/// costs close to `unit_wire + overflow_weight`. The `+1` looks one net
+/// ahead: the cost seen by a net is the congestion *after* it commits.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_grid::CostParams;
+///
+/// let p = CostParams::default();
+/// // An uncongested edge is nearly free beyond its length cost...
+/// assert!(p.wire_congestion_penalty(0.0, 16.0) < 0.01);
+/// // ...while an overflowing edge pays close to the full overflow weight.
+/// assert!(p.wire_congestion_penalty(20.0, 16.0) > 0.9 * p.overflow_weight);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Cost of one G-cell of wirelength on any layer.
+    pub unit_wire: f64,
+    /// Fixed cost of one via (crossing one layer boundary).
+    pub unit_via: f64,
+    /// Weight of the logistic congestion penalty on wire edges.
+    pub overflow_weight: f64,
+    /// Weight of the congestion penalty on via edges (vias through congested
+    /// regions are discouraged, mirroring CUGR's via-capacity awareness).
+    pub via_overflow_weight: f64,
+    /// Slope of the logistic; higher = sharper transition at full capacity.
+    pub logistic_slope: f64,
+    /// Number of vias a single G-cell can absorb before its via edges are
+    /// considered congested.
+    pub via_capacity: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            unit_wire: 1.0,
+            unit_via: 2.0,
+            overflow_weight: 80.0,
+            via_overflow_weight: 20.0,
+            logistic_slope: 1.5,
+            via_capacity: 8.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// The logistic congestion penalty of one unit wire edge.
+    ///
+    /// `demand` is the current demand, `capacity` the number of tracks. The
+    /// returned penalty excludes the `unit_wire` length cost.
+    pub fn wire_congestion_penalty(&self, demand: f64, capacity: f64) -> f64 {
+        if capacity <= 0.0 {
+            // Unroutable edge (blockage / pin layer): effectively forbidden,
+            // but kept finite so degenerate inputs cannot poison the DP with
+            // NaN/inf arithmetic.
+            return self.overflow_weight * 16.0;
+        }
+        self.overflow_weight * logistic(self.logistic_slope * (demand + 1.0 - capacity))
+    }
+
+    /// Total cost of one unit wire edge.
+    pub fn wire_edge_cost(&self, demand: f64, capacity: f64) -> f64 {
+        self.unit_wire + self.wire_congestion_penalty(demand, capacity)
+    }
+
+    /// Cost of one via edge (one layer hop) given the via demand already
+    /// through that G-cell boundary.
+    pub fn via_edge_cost(&self, via_demand: f64) -> f64 {
+        self.unit_via
+            + self.via_overflow_weight
+                * logistic(self.logistic_slope * (via_demand + 1.0 - self.via_capacity))
+    }
+}
+
+/// The standard logistic function `1 / (1 + e^-x)`.
+#[inline]
+pub(crate) fn logistic(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_is_bounded_and_monotone() {
+        assert!(logistic(-50.0) < 1e-10);
+        assert!((logistic(0.0) - 0.5).abs() < 1e-12);
+        assert!(logistic(50.0) > 1.0 - 1e-10);
+        let mut prev = 0.0;
+        for i in -20..=20 {
+            let v = logistic(i as f64 * 0.5);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn wire_cost_grows_with_demand() {
+        let p = CostParams::default();
+        let mut prev = f64::NEG_INFINITY;
+        for d in 0..30 {
+            let c = p.wire_edge_cost(d as f64, 16.0);
+            assert!(c > prev, "cost must be strictly increasing in demand");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn zero_capacity_edges_are_heavily_penalised_but_finite() {
+        let p = CostParams::default();
+        let c = p.wire_edge_cost(0.0, 0.0);
+        assert!(c.is_finite());
+        assert!(c > p.overflow_weight);
+    }
+
+    #[test]
+    fn via_cost_has_fixed_floor() {
+        let p = CostParams::default();
+        assert!(p.via_edge_cost(0.0) >= p.unit_via);
+        assert!(p.via_edge_cost(100.0) > p.via_edge_cost(0.0));
+    }
+
+    #[test]
+    fn half_capacity_edge_is_cheap_full_edge_is_expensive() {
+        let p = CostParams::default();
+        let half = p.wire_congestion_penalty(7.0, 16.0);
+        let full = p.wire_congestion_penalty(16.0, 16.0);
+        assert!(half < 0.01 * p.overflow_weight);
+        assert!(full > 0.5 * p.overflow_weight);
+    }
+}

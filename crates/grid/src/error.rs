@@ -1,0 +1,104 @@
+//! Error type for grid-graph construction and mutation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Point2, Segment};
+
+/// Errors reported by [`GridGraph`](crate::GridGraph) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// The requested grid dimensions are unusable (zero-sized or too few
+    /// layers to route on).
+    InvalidDimensions {
+        /// Requested width in G-cells.
+        width: u16,
+        /// Requested height in G-cells.
+        height: u16,
+        /// Requested number of metal layers.
+        layers: u8,
+    },
+    /// A coordinate lies outside the grid.
+    OutOfBounds {
+        /// The offending 2-D coordinate.
+        point: Point2,
+        /// The offending layer (if the access was 3-D).
+        layer: Option<u8>,
+    },
+    /// A wire segment does not run along its layer's preferred direction.
+    WrongDirection {
+        /// The offending segment.
+        segment: Segment,
+    },
+    /// A via spans an empty or inverted layer range.
+    InvalidViaSpan {
+        /// Lower layer of the via.
+        lo: u8,
+        /// Upper layer of the via.
+        hi: u8,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::InvalidDimensions {
+                width,
+                height,
+                layers,
+            } => write!(
+                f,
+                "invalid grid dimensions {width}x{height} with {layers} layers \
+                 (need width, height >= 2 and layers >= 2)"
+            ),
+            GridError::OutOfBounds {
+                point,
+                layer: Some(l),
+            } => {
+                write!(f, "coordinate {point} on layer M{l} is outside the grid")
+            }
+            GridError::OutOfBounds { point, layer: None } => {
+                write!(f, "coordinate {point} is outside the grid")
+            }
+            GridError::WrongDirection { segment } => write!(
+                f,
+                "segment {} -> {} on M{} does not follow the preferred direction",
+                segment.from, segment.to, segment.layer
+            ),
+            GridError::InvalidViaSpan { lo, hi } => {
+                write!(f, "via span M{lo}..M{hi} is empty or inverted")
+            }
+        }
+    }
+}
+
+impl Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_context() {
+        let e = GridError::OutOfBounds {
+            point: Point2::new(99, 3),
+            layer: Some(2),
+        };
+        assert!(e.to_string().contains("(99, 3)"));
+        assert!(e.to_string().contains("M2"));
+
+        let e = GridError::InvalidDimensions {
+            width: 0,
+            height: 5,
+            layers: 1,
+        };
+        assert!(e.to_string().contains("0x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GridError>();
+    }
+}

@@ -1,0 +1,297 @@
+//! Geometric primitives used throughout the router.
+
+use std::fmt;
+
+/// A 2-D G-cell coordinate on the routing grid.
+///
+/// Coordinates are grid indices, not physical microns: the grid graph has one
+/// vertex per G-cell per layer and `Point2` names the 2-D projection of such
+/// a vertex.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_grid::Point2;
+///
+/// let a = Point2::new(3, 4);
+/// let b = Point2::new(6, 8);
+/// assert_eq!(a.manhattan_distance(b), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point2 {
+    /// Column index of the G-cell.
+    pub x: u16,
+    /// Row index of the G-cell.
+    pub y: u16,
+}
+
+impl Point2 {
+    /// Creates a 2-D G-cell coordinate.
+    pub const fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (rectilinear) distance to `other` in G-cell units.
+    pub fn manhattan_distance(self, other: Point2) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// Returns `true` when both coordinates are aligned on the same row or
+    /// column (so a single straight wire can join them).
+    pub fn is_aligned_with(self, other: Point2) -> bool {
+        self.x == other.x || self.y == other.y
+    }
+
+    /// Lifts this projection onto metal layer `layer`.
+    pub const fn on_layer(self, layer: u8) -> Point3 {
+        Point3::new(self.x, self.y, layer)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u16, u16)> for Point2 {
+    fn from((x, y): (u16, u16)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+/// A 3-D grid-graph vertex: a G-cell on a specific metal layer.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_grid::{Point2, Point3};
+///
+/// let p = Point3::new(3, 4, 2);
+/// assert_eq!(p.xy(), Point2::new(3, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point3 {
+    /// Column index of the G-cell.
+    pub x: u16,
+    /// Row index of the G-cell.
+    pub y: u16,
+    /// Metal layer index (0 = lowest / pin layer).
+    pub layer: u8,
+}
+
+impl Point3 {
+    /// Creates a 3-D grid-graph vertex.
+    pub const fn new(x: u16, y: u16, layer: u8) -> Self {
+        Self { x, y, layer }
+    }
+
+    /// The 2-D projection of this vertex.
+    pub const fn xy(self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, M{})", self.x, self.y, self.layer)
+    }
+}
+
+impl From<(u16, u16, u8)> for Point3 {
+    fn from((x, y, layer): (u16, u16, u8)) -> Self {
+        Self::new(x, y, layer)
+    }
+}
+
+/// An axis-aligned inclusive rectangle of G-cells.
+///
+/// `Rect` is the bounding-box currency of the router: net bounding boxes,
+/// task conflict tests and maze-search windows are all expressed with it.
+/// Both corners are *inclusive*, so a degenerate rectangle covering one
+/// G-cell has `lo == hi`.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_grid::{Point2, Rect};
+///
+/// let a = Rect::new(Point2::new(0, 0), Point2::new(4, 2));
+/// let b = Rect::new(Point2::new(4, 2), Point2::new(9, 9));
+/// assert!(a.intersects(&b)); // they share the G-cell (4, 2)
+/// assert_eq!(a.half_perimeter(), 6);
+/// assert_eq!(a.area(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Lower-left corner (inclusive).
+    pub lo: Point2,
+    /// Upper-right corner (inclusive).
+    pub hi: Point2,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalising their order.
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Self {
+            lo: Point2::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The smallest rectangle containing every point of `points`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<I>(points: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = Point2>,
+    {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut rect = Rect::new(first, first);
+        for p in iter {
+            rect.expand_to(p);
+        }
+        Some(rect)
+    }
+
+    /// Grows the rectangle (in place) so it contains `p`.
+    pub fn expand_to(&mut self, p: Point2) {
+        self.lo.x = self.lo.x.min(p.x);
+        self.lo.y = self.lo.y.min(p.y);
+        self.hi.x = self.hi.x.max(p.x);
+        self.hi.y = self.hi.y.max(p.y);
+    }
+
+    /// Grows the rectangle by `margin` G-cells on every side, clamped to the
+    /// `[0, width) x [0, height)` grid.
+    pub fn inflated(&self, margin: u16, width: u16, height: u16) -> Self {
+        Self {
+            lo: Point2::new(
+                self.lo.x.saturating_sub(margin),
+                self.lo.y.saturating_sub(margin),
+            ),
+            hi: Point2::new(
+                (self.hi.x + margin).min(width.saturating_sub(1)),
+                (self.hi.y + margin).min(height.saturating_sub(1)),
+            ),
+        }
+    }
+
+    /// Width of the bounding box in G-cells (`M` in the paper, `>= 1`).
+    pub fn width(&self) -> u16 {
+        self.hi.x - self.lo.x + 1
+    }
+
+    /// Height of the bounding box in G-cells (`N` in the paper, `>= 1`).
+    pub fn height(&self) -> u16 {
+        self.hi.y - self.lo.y + 1
+    }
+
+    /// Half-perimeter wirelength (HPWL) in G-cell *edge* units: the minimum
+    /// rectilinear wirelength of any tree spanning the two corners.
+    pub fn half_perimeter(&self) -> u32 {
+        (self.width() as u32 - 1) + (self.height() as u32 - 1)
+    }
+
+    /// Number of G-cells covered by the box.
+    pub fn area(&self) -> u64 {
+        self.width() as u64 * self.height() as u64
+    }
+
+    /// Whether the two (inclusive) rectangles share at least one G-cell.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Whether `p` lies inside the rectangle.
+    pub fn contains(&self, p: Point2) -> bool {
+        self.lo.x <= p.x && p.x <= self.hi.x && self.lo.y <= p.y && p.y <= self.hi.y
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Point2::new(1, 9);
+        let b = Point2::new(7, 2);
+        assert_eq!(a.manhattan_distance(b), 13);
+        assert_eq!(b.manhattan_distance(a), 13);
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn alignment_detects_shared_row_or_column() {
+        assert!(Point2::new(3, 5).is_aligned_with(Point2::new(3, 9)));
+        assert!(Point2::new(3, 5).is_aligned_with(Point2::new(8, 5)));
+        assert!(!Point2::new(3, 5).is_aligned_with(Point2::new(4, 6)));
+    }
+
+    #[test]
+    fn rect_normalises_corner_order() {
+        let r = Rect::new(Point2::new(9, 1), Point2::new(2, 7));
+        assert_eq!(r.lo, Point2::new(2, 1));
+        assert_eq!(r.hi, Point2::new(9, 7));
+    }
+
+    #[test]
+    fn rect_bounding_covers_all_points() {
+        let pts = [Point2::new(4, 4), Point2::new(1, 8), Point2::new(6, 2)];
+        let r = Rect::bounding(pts).expect("non-empty");
+        for p in pts {
+            assert!(r.contains(p));
+        }
+        assert_eq!(r.lo, Point2::new(1, 2));
+        assert_eq!(r.hi, Point2::new(6, 8));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn degenerate_rect_has_zero_hpwl_and_unit_area() {
+        let r = Rect::new(Point2::new(5, 5), Point2::new(5, 5));
+        assert_eq!(r.half_perimeter(), 0);
+        assert_eq!(r.area(), 1);
+        assert_eq!(r.width(), 1);
+        assert_eq!(r.height(), 1);
+    }
+
+    #[test]
+    fn intersection_includes_edge_touching() {
+        let a = Rect::new(Point2::new(0, 0), Point2::new(4, 4));
+        let b = Rect::new(Point2::new(4, 4), Point2::new(8, 8));
+        let c = Rect::new(Point2::new(5, 5), Point2::new(8, 8));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+    }
+
+    #[test]
+    fn inflate_clamps_to_grid() {
+        let r = Rect::new(Point2::new(0, 1), Point2::new(9, 9));
+        let g = r.inflated(2, 10, 10);
+        assert_eq!(g.lo, Point2::new(0, 0));
+        assert_eq!(g.hi, Point2::new(9, 9));
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(Point3::new(1, 2, 3).to_string(), "(1, 2, M3)");
+        assert_eq!(
+            Rect::new(Point2::new(0, 0), Point2::new(1, 1)).to_string(),
+            "[(0, 0) .. (1, 1)]"
+        );
+    }
+}

@@ -1,0 +1,769 @@
+//! The routing-resource graph: capacities, demands and edge costs.
+
+use std::fmt;
+
+use crate::congestion::CongestionReport;
+use crate::cost::CostParams;
+use crate::error::GridError;
+use crate::geom::{Point2, Rect};
+use crate::layer::{Direction, LayerInfo};
+use crate::route::Route;
+
+/// Per-layer storage of wire-edge capacity, demand and history cost.
+#[derive(Debug, Clone)]
+struct Plane {
+    capacity: Vec<f64>,
+    demand: Vec<f64>,
+    /// Accumulated negotiation history (NTHU-Route / Archer style): edges
+    /// that keep overflowing accrue extra cost so later iterations learn to
+    /// avoid them even when their instantaneous congestion looks tolerable.
+    history: Vec<f64>,
+}
+
+/// The 3-D global-routing grid graph `G(V, E)`.
+///
+/// One vertex per G-cell per metal layer. Wire edges join adjacent G-cells
+/// on the same layer *along the layer's preferred direction only*; via edges
+/// join vertically stacked G-cells on adjacent layers. Each wire edge tracks
+/// a `capacity` (available tracks) and a `demand` (tracks consumed by
+/// committed routes); via edges track demand against a per-G-cell via
+/// capacity from [`CostParams`].
+///
+/// Layer 0 is the pin layer: it carries no routing capacity by convention
+/// (its capacity defaults to 0 and [`GridGraph::fill_capacity`] leaves it
+/// untouched), so routes must immediately via up from pins.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_grid::{CostParams, GridGraph, Point2};
+///
+/// # fn main() -> Result<(), fastgr_grid::GridError> {
+/// let mut g = GridGraph::new(8, 8, 4, CostParams::default())?;
+/// g.fill_capacity(4.0);
+///
+/// // Horizontal run on M1 (horizontal layer): finite cost.
+/// let c = g.wire_run_cost(1, Point2::new(0, 0), Point2::new(5, 0));
+/// assert!(c.is_finite());
+///
+/// // A vertical run on a horizontal layer is not a legal pattern leg.
+/// let c = g.wire_run_cost(1, Point2::new(0, 0), Point2::new(0, 5));
+/// assert!(c.is_infinite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridGraph {
+    width: u16,
+    height: u16,
+    layers: Vec<LayerInfo>,
+    params: CostParams,
+    planes: Vec<Plane>,
+    /// Via demand indexed `[boundary * w * h + y * w + x]` where `boundary`
+    /// is the lower layer of the hop (0..layers-1).
+    via_demand: Vec<f64>,
+}
+
+impl GridGraph {
+    /// Creates a grid with `layers` metal layers, all wire capacities zero.
+    ///
+    /// Layer directions alternate with M1 horizontal
+    /// ([`Direction::of_layer`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::InvalidDimensions`] when `width < 2`,
+    /// `height < 2` or `layers < 2`.
+    pub fn new(width: u16, height: u16, layers: u8, params: CostParams) -> Result<Self, GridError> {
+        if width < 2 || height < 2 || layers < 2 {
+            return Err(GridError::InvalidDimensions {
+                width,
+                height,
+                layers,
+            });
+        }
+        let infos: Vec<LayerInfo> = (0..layers).map(|l| LayerInfo::new(l, 0.0)).collect();
+        let planes = infos
+            .iter()
+            .map(|info| {
+                let n = match info.direction {
+                    Direction::Horizontal => (width as usize - 1) * height as usize,
+                    Direction::Vertical => width as usize * (height as usize - 1),
+                };
+                Plane {
+                    capacity: vec![0.0; n],
+                    demand: vec![0.0; n],
+                    history: vec![0.0; n],
+                }
+            })
+            .collect();
+        let via_demand = vec![0.0; (layers as usize - 1) * width as usize * height as usize];
+        Ok(Self {
+            width,
+            height,
+            layers: infos,
+            params,
+            planes,
+            via_demand,
+        })
+    }
+
+    /// Grid width in G-cells.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height in G-cells.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of metal layers (including the unroutable pin layer 0).
+    pub fn num_layers(&self) -> u8 {
+        self.layers.len() as u8
+    }
+
+    /// Static description of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer(&self, l: u8) -> &LayerInfo {
+        &self.layers[l as usize]
+    }
+
+    /// The cost-model parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Whether `p` lies on the grid.
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x < self.width && p.y < self.height
+    }
+
+    /// The full grid extent as a [`Rect`].
+    pub fn extent(&self) -> Rect {
+        Rect::new(
+            Point2::new(0, 0),
+            Point2::new(self.width - 1, self.height - 1),
+        )
+    }
+
+    /// Sets every wire edge on every *routable* layer (1..) to `capacity`.
+    pub fn fill_capacity(&mut self, capacity: f64) {
+        for (l, plane) in self.planes.iter_mut().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            plane.capacity.fill(capacity);
+            self.layers[l].default_capacity = capacity;
+        }
+    }
+
+    /// Sets every wire edge of layer `l` to `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn set_layer_capacity(&mut self, l: u8, capacity: f64) {
+        self.planes[l as usize].capacity.fill(capacity);
+        self.layers[l as usize].default_capacity = capacity;
+    }
+
+    /// Scales the capacity of all wire edges of layer `l` whose *lower*
+    /// endpoint lies in `region` — used to model blockages/macros.
+    pub fn scale_region_capacity(&mut self, l: u8, region: Rect, factor: f64) {
+        let dir = self.layers[l as usize].direction;
+        let (w, h) = (self.width, self.height);
+        let plane = &mut self.planes[l as usize];
+        for y in region.lo.y..=region.hi.y.min(h - 1) {
+            for x in region.lo.x..=region.hi.x.min(w - 1) {
+                if let Some(idx) = Self::edge_index_raw(dir, w, h, Point2::new(x, y)) {
+                    plane.capacity[idx] *= factor;
+                }
+            }
+        }
+    }
+
+    /// Index of the wire edge whose lower endpoint is `p`, if it exists.
+    fn edge_index_raw(dir: Direction, w: u16, h: u16, p: Point2) -> Option<usize> {
+        match dir {
+            Direction::Horizontal => {
+                (p.x + 1 < w && p.y < h).then(|| p.y as usize * (w as usize - 1) + p.x as usize)
+            }
+            Direction::Vertical => {
+                (p.y + 1 < h && p.x < w).then(|| p.x as usize * (h as usize - 1) + p.y as usize)
+            }
+        }
+    }
+
+    fn edge_index(&self, l: u8, p: Point2) -> Option<usize> {
+        Self::edge_index_raw(
+            self.layers[l as usize].direction,
+            self.width,
+            self.height,
+            p,
+        )
+    }
+
+    /// Capacity of the wire edge on layer `l` leaving `p` in the preferred
+    /// direction, or `None` if no such edge exists.
+    pub fn wire_capacity(&self, l: u8, p: Point2) -> Option<f64> {
+        self.edge_index(l, p)
+            .map(|i| self.planes[l as usize].capacity[i])
+    }
+
+    /// Demand of the wire edge on layer `l` leaving `p` in the preferred
+    /// direction, or `None` if no such edge exists.
+    pub fn wire_demand(&self, l: u8, p: Point2) -> Option<f64> {
+        self.edge_index(l, p)
+            .map(|i| self.planes[l as usize].demand[i])
+    }
+
+    /// Via demand through the boundary between layers `l` and `l + 1` at
+    /// G-cell `p`, or `None` when out of range.
+    pub fn via_demand(&self, l: u8, p: Point2) -> Option<f64> {
+        self.via_index(l, p).map(|i| self.via_demand[i])
+    }
+
+    fn via_index(&self, lower: u8, p: Point2) -> Option<usize> {
+        ((lower as usize) < self.layers.len() - 1 && self.contains(p)).then(|| {
+            lower as usize * self.width as usize * self.height as usize
+                + p.y as usize * self.width as usize
+                + p.x as usize
+        })
+    }
+
+    /// Cost of the single wire edge on layer `l` leaving `p` in the layer's
+    /// preferred direction (`cw` of the paper for one unit edge), including
+    /// any accumulated history cost.
+    ///
+    /// Returns `f64::INFINITY` when the edge does not exist.
+    pub fn wire_edge_cost(&self, l: u8, p: Point2) -> f64 {
+        match self.edge_index(l, p) {
+            Some(i) => {
+                let plane = &self.planes[l as usize];
+                self.params
+                    .wire_edge_cost(plane.demand[i], plane.capacity[i])
+                    + plane.history[i]
+            }
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Accumulated history cost of the wire edge leaving `p` on layer `l`.
+    pub fn wire_history(&self, l: u8, p: Point2) -> Option<f64> {
+        self.edge_index(l, p)
+            .map(|i| self.planes[l as usize].history[i])
+    }
+
+    /// Adds `increment` history cost to every currently overflowing wire
+    /// edge (one negotiation round). Returns the number of edges penalised.
+    pub fn add_history_on_overflow(&mut self, increment: f64) -> usize {
+        let mut penalised = 0;
+        for plane in self.planes.iter_mut().skip(1) {
+            for i in 0..plane.demand.len() {
+                if plane.demand[i] > plane.capacity[i] {
+                    plane.history[i] += increment;
+                    penalised += 1;
+                }
+            }
+        }
+        penalised
+    }
+
+    /// Clears all accumulated history cost.
+    pub fn clear_history(&mut self) {
+        for plane in &mut self.planes {
+            plane.history.fill(0.0);
+        }
+    }
+
+    /// Cost of the via edge between layers `l` and `l + 1` at `p`.
+    ///
+    /// Returns `f64::INFINITY` when out of range.
+    pub fn via_edge_cost(&self, l: u8, p: Point2) -> f64 {
+        match self.via_index(l, p) {
+            Some(i) => self.params.via_edge_cost(self.via_demand[i]),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Cost `cw(a, b, l)` of a straight run on layer `l` between aligned
+    /// G-cells `a` and `b`.
+    ///
+    /// Returns 0 for `a == b`; returns `f64::INFINITY` when the run does not
+    /// follow the layer's preferred direction, leaves the grid, or `l` is
+    /// out of range — so the value can be fed to the pattern-routing DP
+    /// directly, where illegal candidates simply never win the `min`.
+    pub fn wire_run_cost(&self, l: u8, a: Point2, b: Point2) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if (l as usize) >= self.layers.len() || !self.contains(a) || !self.contains(b) {
+            return f64::INFINITY;
+        }
+        let dir = self.layers[l as usize].direction;
+        let run_dir = if a.y == b.y {
+            Direction::Horizontal
+        } else if a.x == b.x {
+            Direction::Vertical
+        } else {
+            return f64::INFINITY;
+        };
+        if dir != run_dir {
+            return f64::INFINITY;
+        }
+        let plane = &self.planes[l as usize];
+        let mut total = 0.0;
+        match dir {
+            Direction::Horizontal => {
+                let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+                let base = a.y as usize * (self.width as usize - 1);
+                for x in x0..x1 {
+                    let i = base + x as usize;
+                    total += self
+                        .params
+                        .wire_edge_cost(plane.demand[i], plane.capacity[i])
+                        + plane.history[i];
+                }
+            }
+            Direction::Vertical => {
+                let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+                let base = a.x as usize * (self.height as usize - 1);
+                for y in y0..y1 {
+                    let i = base + y as usize;
+                    total += self
+                        .params
+                        .wire_edge_cost(plane.demand[i], plane.capacity[i])
+                        + plane.history[i];
+                }
+            }
+        }
+        total
+    }
+
+    /// Cost `cv(p, l1, l2)` of a via stack at `p` from layer `l1` to `l2`.
+    ///
+    /// Returns 0 when `l1 == l2`; `f64::INFINITY` when out of range.
+    pub fn via_stack_cost(&self, p: Point2, l1: u8, l2: u8) -> f64 {
+        let (lo, hi) = (l1.min(l2), l1.max(l2));
+        if hi as usize >= self.layers.len() || !self.contains(p) {
+            return f64::INFINITY;
+        }
+        let mut total = 0.0;
+        for l in lo..hi {
+            total += self.via_edge_cost(l, p);
+        }
+        total
+    }
+
+    /// Adds `amount` demand (may be negative) to every unit wire edge of the
+    /// straight run `a -> b` on layer `l`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-bounds coordinates and wrong-direction runs.
+    pub fn add_wire_demand(
+        &mut self,
+        l: u8,
+        a: Point2,
+        b: Point2,
+        amount: f64,
+    ) -> Result<(), GridError> {
+        if a == b {
+            return Ok(());
+        }
+        if (l as usize) >= self.layers.len() || !self.contains(a) || !self.contains(b) {
+            return Err(GridError::OutOfBounds {
+                point: if self.contains(a) { b } else { a },
+                layer: Some(l),
+            });
+        }
+        let seg = crate::route::Segment::new(l, a, b);
+        let dir = self.layers[l as usize].direction;
+        let seg_dir = if seg.is_horizontal() {
+            Direction::Horizontal
+        } else {
+            Direction::Vertical
+        };
+        if dir != seg_dir {
+            return Err(GridError::WrongDirection { segment: seg });
+        }
+        for (from, _to) in seg.unit_edges() {
+            let idx = self.edge_index(l, from).expect("validated in-bounds");
+            self.planes[l as usize].demand[idx] += amount;
+        }
+        Ok(())
+    }
+
+    /// Adds `amount` via demand for every hop of the stack `l1..l2` at `p`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-bounds coordinates and inverted/out-of-range spans.
+    pub fn add_via_demand(
+        &mut self,
+        p: Point2,
+        l1: u8,
+        l2: u8,
+        amount: f64,
+    ) -> Result<(), GridError> {
+        let (lo, hi) = (l1.min(l2), l1.max(l2));
+        if !self.contains(p) {
+            return Err(GridError::OutOfBounds {
+                point: p,
+                layer: Some(lo),
+            });
+        }
+        if hi as usize >= self.layers.len() {
+            return Err(GridError::InvalidViaSpan { lo, hi });
+        }
+        for l in lo..hi {
+            let i = self.via_index(l, p).expect("validated in-bounds");
+            self.via_demand[i] += amount;
+        }
+        Ok(())
+    }
+
+    /// Commits the demand of `route` (adds 1 track to every covered edge).
+    ///
+    /// # Errors
+    ///
+    /// Fails without partial effects being rolled back if the route contains
+    /// out-of-grid or wrong-direction geometry; validate routes first when
+    /// that matters (router-produced routes are always valid).
+    pub fn commit(&mut self, route: &Route) -> Result<(), GridError> {
+        self.apply(route, 1.0)
+    }
+
+    /// Removes the demand of a previously committed `route`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GridGraph::commit`].
+    pub fn uncommit(&mut self, route: &Route) -> Result<(), GridError> {
+        self.apply(route, -1.0)
+    }
+
+    fn apply(&mut self, route: &Route, amount: f64) -> Result<(), GridError> {
+        for s in route.segments() {
+            self.add_wire_demand(s.layer, s.from, s.to, amount)?;
+        }
+        for v in route.vias() {
+            self.add_via_demand(v.at, v.lo, v.hi, amount)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the current cost of `route` against the present demand
+    /// state (counting the route's own demand if committed).
+    pub fn route_cost(&self, route: &Route) -> f64 {
+        let mut total = 0.0;
+        for s in route.segments() {
+            total += self.wire_run_cost(s.layer, s.from, s.to);
+        }
+        for v in route.vias() {
+            total += self.via_stack_cost(v.at, v.lo, v.hi);
+        }
+        total
+    }
+
+    /// Whether any unit wire edge covered by `route` is overflowing
+    /// (demand > capacity) in the current state.
+    pub fn route_has_overflow(&self, route: &Route) -> bool {
+        for s in route.segments() {
+            let l = s.layer as usize;
+            for (from, _) in s.unit_edges() {
+                if let Some(i) = self.edge_index(s.layer, from) {
+                    if self.planes[l].demand[i] > self.planes[l].capacity[i] {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Aggregated congestion statistics over the whole grid.
+    pub fn report(&self) -> CongestionReport {
+        let mut r = CongestionReport::default();
+        for plane in self.planes.iter().skip(1) {
+            for (&d, &c) in plane.demand.iter().zip(&plane.capacity) {
+                r.total_wire_demand += d;
+                r.total_wire_capacity += c;
+                if d > c {
+                    r.overflow += d - c;
+                    r.overflowing_edges += 1;
+                }
+                if c > 0.0 {
+                    r.max_utilization = r.max_utilization.max(d / c);
+                }
+            }
+        }
+        r.total_via_demand = self.via_demand.iter().sum();
+        r
+    }
+
+    /// Per-G-cell 2-D congestion heat: for every cell the maximum
+    /// utilisation (demand/capacity) over the wire edges leaving it on any
+    /// routable layer. Row-major `height x width`.
+    pub fn congestion_heatmap(&self) -> Vec<f64> {
+        let mut heat = vec![0.0f64; self.width as usize * self.height as usize];
+        for (l, plane) in self.planes.iter().enumerate().skip(1) {
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let p = Point2::new(x, y);
+                    if let Some(i) =
+                        Self::edge_index_raw(self.layers[l].direction, self.width, self.height, p)
+                    {
+                        if plane.capacity[i] > 0.0 {
+                            let u = plane.demand[i] / plane.capacity[i];
+                            let cell = y as usize * self.width as usize + x as usize;
+                            if u > heat[cell] {
+                                heat[cell] = u;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        heat
+    }
+}
+
+impl fmt::Display for GridGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grid {}x{} with {} layers",
+            self.width,
+            self.height,
+            self.layers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{Segment, Via};
+
+    fn graph() -> GridGraph {
+        let mut g = GridGraph::new(10, 10, 5, CostParams::default()).expect("valid dims");
+        g.fill_capacity(4.0);
+        g
+    }
+
+    #[test]
+    fn rejects_degenerate_dimensions() {
+        assert!(matches!(
+            GridGraph::new(1, 10, 5, CostParams::default()),
+            Err(GridError::InvalidDimensions { .. })
+        ));
+        assert!(matches!(
+            GridGraph::new(10, 10, 1, CostParams::default()),
+            Err(GridError::InvalidDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn pin_layer_keeps_zero_capacity() {
+        let g = graph();
+        assert_eq!(g.wire_capacity(0, Point2::new(3, 3)), Some(0.0));
+        assert_eq!(g.wire_capacity(1, Point2::new(3, 3)), Some(4.0));
+    }
+
+    #[test]
+    fn run_cost_respects_preferred_direction() {
+        let g = graph();
+        // M1 horizontal, M2 vertical.
+        assert!(g
+            .wire_run_cost(1, Point2::new(0, 0), Point2::new(4, 0))
+            .is_finite());
+        assert!(g
+            .wire_run_cost(1, Point2::new(0, 0), Point2::new(0, 4))
+            .is_infinite());
+        assert!(g
+            .wire_run_cost(2, Point2::new(0, 0), Point2::new(0, 4))
+            .is_finite());
+        assert!(g
+            .wire_run_cost(2, Point2::new(0, 0), Point2::new(4, 0))
+            .is_infinite());
+        // Diagonal runs are never legal.
+        assert!(g
+            .wire_run_cost(1, Point2::new(0, 0), Point2::new(3, 3))
+            .is_infinite());
+        // Zero-length runs are free on any layer.
+        assert_eq!(
+            g.wire_run_cost(2, Point2::new(5, 5), Point2::new(5, 5)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn run_cost_scales_with_length_when_uncongested() {
+        let g = graph();
+        let c1 = g.wire_run_cost(1, Point2::new(0, 0), Point2::new(1, 0));
+        let c5 = g.wire_run_cost(1, Point2::new(0, 0), Point2::new(5, 0));
+        assert!((c5 - 5.0 * c1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commit_uncommit_is_reversible() {
+        let mut g = graph();
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(1, 2), Point2::new(6, 2)));
+        route.push_via(Via::new(Point2::new(6, 2), 1, 2));
+        route.push_segment(Segment::new(2, Point2::new(6, 2), Point2::new(6, 7)));
+
+        let before = g.report();
+        g.commit(&route).expect("valid route");
+        let mid = g.report();
+        assert_eq!(mid.total_wire_demand, before.total_wire_demand + 10.0);
+        assert_eq!(mid.total_via_demand, before.total_via_demand + 1.0);
+        g.uncommit(&route).expect("valid route");
+        let after = g.report();
+        assert_eq!(after.total_wire_demand, before.total_wire_demand);
+        assert_eq!(after.total_via_demand, before.total_via_demand);
+    }
+
+    #[test]
+    fn committing_raises_cost() {
+        let mut g = graph();
+        let from = Point2::new(0, 5);
+        let to = Point2::new(7, 5);
+        let base = g.wire_run_cost(1, from, to);
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, from, to));
+        for _ in 0..4 {
+            g.commit(&route).expect("valid");
+        }
+        assert!(g.wire_run_cost(1, from, to) > base);
+    }
+
+    #[test]
+    fn overflow_detection_tracks_capacity() {
+        let mut g = graph();
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(0, 0), Point2::new(3, 0)));
+        for _ in 0..4 {
+            g.commit(&route).expect("valid");
+            assert!(!g.route_has_overflow(&route));
+        }
+        g.commit(&route).expect("valid");
+        assert!(g.route_has_overflow(&route));
+        let r = g.report();
+        assert_eq!(r.overflowing_edges, 3);
+        assert!((r.overflow - 3.0).abs() < 1e-9);
+        assert!((r.shorts() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_direction_commit_is_rejected() {
+        let mut g = graph();
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(0, 0), Point2::new(0, 3)));
+        assert!(matches!(
+            g.commit(&route),
+            Err(GridError::WrongDirection { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_demand_is_rejected() {
+        let mut g = graph();
+        assert!(g
+            .add_wire_demand(1, Point2::new(0, 0), Point2::new(50, 0), 1.0)
+            .is_err());
+        assert!(g.add_via_demand(Point2::new(50, 0), 1, 2, 1.0).is_err());
+        assert!(matches!(
+            g.add_via_demand(Point2::new(1, 1), 1, 9, 1.0),
+            Err(GridError::InvalidViaSpan { .. })
+        ));
+    }
+
+    #[test]
+    fn via_stack_cost_sums_hops() {
+        let g = graph();
+        let p = Point2::new(4, 4);
+        let one = g.via_stack_cost(p, 1, 2);
+        let three = g.via_stack_cost(p, 1, 4);
+        assert!((three - 3.0 * one).abs() < 1e-9);
+        assert_eq!(g.via_stack_cost(p, 2, 2), 0.0);
+        assert!(g.via_stack_cost(p, 1, 9).is_infinite());
+    }
+
+    #[test]
+    fn region_blockage_raises_cost() {
+        let mut g = graph();
+        let free = g.wire_run_cost(1, Point2::new(0, 8), Point2::new(4, 8));
+        g.scale_region_capacity(1, Rect::new(Point2::new(0, 0), Point2::new(5, 5)), 0.0);
+        let blocked = g.wire_run_cost(1, Point2::new(0, 3), Point2::new(4, 3));
+        assert!(blocked > free * 10.0);
+    }
+
+    #[test]
+    fn heatmap_reflects_commits() {
+        let mut g = graph();
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(2, 2), Point2::new(6, 2)));
+        g.commit(&route).expect("valid");
+        g.commit(&route).expect("valid");
+        let heat = g.congestion_heatmap();
+        let idx = 2 * 10 + 3;
+        assert!((heat[idx] - 0.5).abs() < 1e-9);
+        assert_eq!(heat[0], 0.0);
+    }
+
+    #[test]
+    fn history_raises_cost_only_on_overflowed_edges() {
+        let mut g = graph();
+        let quiet = g.wire_edge_cost(1, Point2::new(0, 0));
+        // Overflow one edge.
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(0, 0), Point2::new(1, 0)));
+        for _ in 0..5 {
+            g.commit(&route).expect("valid");
+        }
+        let penalised = g.add_history_on_overflow(10.0);
+        assert_eq!(penalised, 1);
+        assert_eq!(g.wire_history(1, Point2::new(0, 0)), Some(10.0));
+        assert_eq!(g.wire_history(1, Point2::new(5, 5)), Some(0.0));
+        // The history persists even after the demand is removed.
+        for _ in 0..5 {
+            g.uncommit(&route).expect("valid");
+        }
+        let haunted = g.wire_edge_cost(1, Point2::new(0, 0));
+        assert!((haunted - (quiet + 10.0)).abs() < 1e-9);
+        g.clear_history();
+        assert!((g.wire_edge_cost(1, Point2::new(0, 0)) - quiet).abs() < 1e-9);
+    }
+
+    #[test]
+    fn history_accumulates_over_rounds() {
+        let mut g = graph();
+        let mut route = Route::new();
+        route.push_segment(Segment::new(2, Point2::new(3, 0), Point2::new(3, 4)));
+        for _ in 0..5 {
+            g.commit(&route).expect("valid");
+        }
+        g.add_history_on_overflow(1.5);
+        g.add_history_on_overflow(1.5);
+        assert_eq!(g.wire_history(2, Point2::new(3, 1)), Some(3.0));
+    }
+
+    #[test]
+    fn route_cost_matches_manual_sum() {
+        let g = graph();
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(0, 0), Point2::new(4, 0)));
+        route.push_via(Via::new(Point2::new(4, 0), 1, 2));
+        route.push_segment(Segment::new(2, Point2::new(4, 0), Point2::new(4, 3)));
+        let expected = g.wire_run_cost(1, Point2::new(0, 0), Point2::new(4, 0))
+            + g.via_stack_cost(Point2::new(4, 0), 1, 2)
+            + g.wire_run_cost(2, Point2::new(4, 0), Point2::new(4, 3));
+        assert!((g.route_cost(&route) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Metal layer model: preferred routing directions per layer.
+
+use std::fmt;
+
+/// Preferred routing direction of a metal layer.
+///
+/// Modern processes route each metal layer in a single preferred direction;
+/// the grid graph only has wire edges *along* that direction (Fig. 1 of the
+/// paper). Direction alternates layer by layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Wires run along the x axis.
+    Horizontal,
+    /// Wires run along the y axis.
+    Vertical,
+}
+
+impl Direction {
+    /// The perpendicular direction.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fastgr_grid::Direction;
+    /// assert_eq!(Direction::Horizontal.orthogonal(), Direction::Vertical);
+    /// ```
+    pub const fn orthogonal(self) -> Self {
+        match self {
+            Direction::Horizontal => Direction::Vertical,
+            Direction::Vertical => Direction::Horizontal,
+        }
+    }
+
+    /// Conventional direction of metal layer `layer` when layer 1 is
+    /// horizontal and directions alternate upwards (layer 0, the pin layer,
+    /// is vertical by this convention but carries no routing capacity).
+    pub const fn of_layer(layer: u8) -> Self {
+        if layer % 2 == 1 {
+            Direction::Horizontal
+        } else {
+            Direction::Vertical
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Horizontal => "horizontal",
+            Direction::Vertical => "vertical",
+        })
+    }
+}
+
+/// Static description of one metal layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerInfo {
+    /// Layer index, 0-based from the substrate up.
+    pub index: u8,
+    /// Preferred routing direction.
+    pub direction: Direction,
+    /// Default number of routing tracks through one G-cell edge.
+    pub default_capacity: f64,
+}
+
+impl LayerInfo {
+    /// Creates a layer with the conventional alternating direction and the
+    /// given default capacity.
+    pub const fn new(index: u8, default_capacity: f64) -> Self {
+        Self {
+            index,
+            direction: Direction::of_layer(index),
+            default_capacity,
+        }
+    }
+}
+
+impl fmt::Display for LayerInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "M{} ({}, cap {})",
+            self.index, self.direction, self.default_capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_alternate_from_horizontal_m1() {
+        assert_eq!(Direction::of_layer(1), Direction::Horizontal);
+        assert_eq!(Direction::of_layer(2), Direction::Vertical);
+        assert_eq!(Direction::of_layer(3), Direction::Horizontal);
+        assert_eq!(Direction::of_layer(4), Direction::Vertical);
+    }
+
+    #[test]
+    fn orthogonal_is_involutive() {
+        for d in [Direction::Horizontal, Direction::Vertical] {
+            assert_eq!(d.orthogonal().orthogonal(), d);
+            assert_ne!(d.orthogonal(), d);
+        }
+    }
+
+    #[test]
+    fn layer_info_uses_conventional_direction() {
+        let m3 = LayerInfo::new(3, 2.5);
+        assert_eq!(m3.direction, Direction::Horizontal);
+        assert_eq!(m3.default_capacity, 2.5);
+        assert_eq!(m3.to_string(), "M3 (horizontal, cap 2.5)");
+    }
+}

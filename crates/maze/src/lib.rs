@@ -1,0 +1,42 @@
+//! 3-D maze routing for FastGR's rip-up-and-reroute iterations.
+//!
+//! Pattern routing restricts the search space for speed; the nets it cannot
+//! route violation-free are re-routed here with a full 3-D shortest-path
+//! search over the grid graph (paper Section III-G). The router is a
+//! multi-terminal Dijkstra (optionally A*) restricted to an inflated
+//! bounding-box window:
+//!
+//! 1. start with the first pin as the routed component;
+//! 2. run a multi-source shortest-path search from every vertex of the
+//!    component to the next unconnected pin;
+//! 3. back-trace the winning path, merge it into the component, repeat.
+//!
+//! Moves follow the grid-graph semantics: wire steps along the preferred
+//! direction of layers with non-zero capacity, via steps between adjacent
+//! layers. Costs come live from the [`GridGraph`](fastgr_grid::GridGraph)
+//! congestion state, so the
+//! search naturally detours around overflowed edges.
+//!
+//! # Example
+//!
+//! ```
+//! use fastgr_grid::{CostParams, GridGraph, Point2};
+//! use fastgr_maze::{MazeConfig, MazeRouter};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut graph = GridGraph::new(16, 16, 4, CostParams::default())?;
+//! graph.fill_capacity(4.0);
+//! let router = MazeRouter::new(MazeConfig::default());
+//! let route = router.route(&graph, &[Point2::new(1, 1), Point2::new(12, 9)])?;
+//! assert!(route.is_connected());
+//! assert!(route.wirelength() >= 19); // at least the HPWL
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod router;
+
+pub use router::{MazeConfig, MazeError, MazeRouter, MazeStats};

@@ -1,0 +1,585 @@
+//! The windowed multi-terminal 3-D shortest-path router.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+use fastgr_grid::{Direction, GridGraph, Point2, Point3, Rect, Route, Segment, Via};
+
+/// Fixed-point cost resolution: 1 µ-cost units keep the priority queue on
+/// plain integers (no NaN hazards, total order for free).
+const COST_SCALE: f64 = 1e6;
+
+fn to_fixed(c: f64) -> u64 {
+    debug_assert!(c >= 0.0 && c.is_finite());
+    (c * COST_SCALE).round() as u64
+}
+
+/// Configuration of the maze router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MazeConfig {
+    /// G-cells added around the pin bounding box to form the search window.
+    pub window_margin: u16,
+    /// Use the admissible Manhattan-distance A* heuristic (plain Dijkstra
+    /// when `false`).
+    pub astar: bool,
+}
+
+impl Default for MazeConfig {
+    fn default() -> Self {
+        Self {
+            window_margin: 3,
+            astar: true,
+        }
+    }
+}
+
+/// Errors from maze routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MazeError {
+    /// A pin lies outside the grid.
+    PinOutsideGrid {
+        /// The offending pin position.
+        pin: Point2,
+    },
+    /// A net has no pins.
+    EmptyNet,
+    /// No path exists inside the search window (e.g. fully blocked layers).
+    NoPath {
+        /// The pin that could not be reached.
+        target: Point2,
+    },
+}
+
+impl fmt::Display for MazeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MazeError::PinOutsideGrid { pin } => write!(f, "pin {pin} is outside the grid"),
+            MazeError::EmptyNet => write!(f, "cannot route a net without pins"),
+            MazeError::NoPath { target } => {
+                write!(f, "no path to pin {target} inside the search window")
+            }
+        }
+    }
+}
+
+impl Error for MazeError {}
+
+/// Search statistics of one routing call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MazeStats {
+    /// Vertices popped from the priority queue.
+    pub expanded: u64,
+    /// Number of two-pin searches performed.
+    pub searches: u32,
+}
+
+/// The windowed multi-terminal 3-D maze router. See the crate docs.
+#[derive(Debug, Clone, Default)]
+pub struct MazeRouter {
+    config: MazeConfig,
+}
+
+/// Dense per-window search state, reused across the pins of one net.
+struct Window {
+    rect: Rect,
+    w: usize,
+    h: usize,
+    dist: Vec<u64>,
+    /// Back-pointer: packed predecessor index + 1, 0 = none/source.
+    prev: Vec<u32>,
+    /// Visit generation so we can reuse the buffers without clearing.
+    gen: Vec<u32>,
+    current_gen: u32,
+}
+
+impl Window {
+    fn new(rect: Rect, layers: usize) -> Self {
+        let w = rect.width() as usize;
+        let h = rect.height() as usize;
+        let n = w * h * layers;
+        Self {
+            rect,
+            w,
+            h,
+            dist: vec![u64::MAX; n],
+            prev: vec![0; n],
+            gen: vec![0; n],
+            current_gen: 0,
+        }
+    }
+
+    fn index(&self, p: Point3) -> usize {
+        let x = (p.x - self.rect.lo.x) as usize;
+        let y = (p.y - self.rect.lo.y) as usize;
+        (p.layer as usize * self.h + y) * self.w + x
+    }
+
+    fn point(&self, idx: usize) -> Point3 {
+        let layer = idx / (self.w * self.h);
+        let rem = idx % (self.w * self.h);
+        let y = rem / self.w;
+        let x = rem % self.w;
+        Point3::new(
+            self.rect.lo.x + x as u16,
+            self.rect.lo.y + y as u16,
+            layer as u8,
+        )
+    }
+
+    fn next_generation(&mut self) {
+        self.current_gen += 1;
+    }
+
+    fn dist(&self, idx: usize) -> u64 {
+        if self.gen[idx] == self.current_gen {
+            self.dist[idx]
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn set(&mut self, idx: usize, dist: u64, prev: Option<usize>) {
+        self.gen[idx] = self.current_gen;
+        self.dist[idx] = dist;
+        self.prev[idx] = prev.map_or(0, |p| p as u32 + 1);
+    }
+
+    fn prev(&self, idx: usize) -> Option<usize> {
+        if self.gen[idx] == self.current_gen && self.prev[idx] != 0 {
+            Some(self.prev[idx] as usize - 1)
+        } else {
+            None
+        }
+    }
+}
+
+impl MazeRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: MazeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The router configuration.
+    pub fn config(&self) -> &MazeConfig {
+        &self.config
+    }
+
+    /// Routes a net given its distinct pin G-cells (all pins are assumed to
+    /// be on layer 0, the convention of this reproduction's designs).
+    ///
+    /// Returns a connected [`Route`]; a single-pin net yields an empty one.
+    ///
+    /// # Errors
+    ///
+    /// * [`MazeError::EmptyNet`] for zero pins;
+    /// * [`MazeError::PinOutsideGrid`] for an out-of-grid pin;
+    /// * [`MazeError::NoPath`] when a pin cannot be reached inside the
+    ///   window (retry with a larger [`MazeConfig::window_margin`]).
+    pub fn route(&self, graph: &GridGraph, pins: &[Point2]) -> Result<Route, MazeError> {
+        self.route_with_stats(graph, pins).map(|(route, _)| route)
+    }
+
+    /// Like [`MazeRouter::route`] but also returns search statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MazeRouter::route`].
+    pub fn route_with_stats(
+        &self,
+        graph: &GridGraph,
+        pins: &[Point2],
+    ) -> Result<(Route, MazeStats), MazeError> {
+        if pins.is_empty() {
+            return Err(MazeError::EmptyNet);
+        }
+        for &pin in pins {
+            if !graph.contains(pin) {
+                return Err(MazeError::PinOutsideGrid { pin });
+            }
+        }
+        let mut distinct: Vec<Point2> = pins.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+
+        let mut stats = MazeStats::default();
+        if distinct.len() == 1 {
+            return Ok((Route::new(), stats));
+        }
+
+        let bbox = Rect::bounding(distinct.iter().copied()).expect("non-empty");
+        let window_rect = bbox.inflated(self.config.window_margin, graph.width(), graph.height());
+        let mut window = Window::new(window_rect, graph.num_layers() as usize);
+
+        // Component vertices (indices into the window), starting from the
+        // first pin on layer 0.
+        let mut component: Vec<usize> = vec![window.index(distinct[0].on_layer(0))];
+        let mut route = Route::new();
+
+        // Connect remaining pins, nearest-first to keep paths short.
+        let mut remaining: Vec<Point2> = distinct[1..].to_vec();
+        while !remaining.is_empty() {
+            // Pick the unconnected pin closest to the current component bbox
+            // (cheap proxy: distance to the first pin).
+            let (pick, _) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.manhattan_distance(distinct[0]))
+                .expect("non-empty");
+            let target = remaining.swap_remove(pick);
+            let path = self.search(graph, &mut window, &component, target, &mut stats)?;
+            // Merge path vertices into the component and geometry.
+            Self::emit_geometry(&window, &path, &mut route);
+            for &idx in &path {
+                component.push(idx);
+            }
+        }
+        route.normalize();
+        debug_assert!(route.is_connected(), "maze route must be connected");
+        Ok((route, stats))
+    }
+
+    /// Multi-source Dijkstra/A* from `sources` to `(target, layer 0)`.
+    /// Returns the path as window indices from source side to target.
+    fn search(
+        &self,
+        graph: &GridGraph,
+        window: &mut Window,
+        sources: &[usize],
+        target: Point2,
+        stats: &mut MazeStats,
+    ) -> Result<Vec<usize>, MazeError> {
+        stats.searches += 1;
+        window.next_generation();
+        let target_idx = window.index(target.on_layer(0));
+        let unit_wire = graph.params().unit_wire;
+        let heuristic = |p: Point3| -> u64 {
+            if self.config.astar {
+                to_fixed(p.xy().manhattan_distance(target) as f64 * unit_wire)
+            } else {
+                0
+            }
+        };
+
+        // Priority queue of (f = g + h, index).
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for &s in sources {
+            window.set(s, 0, None);
+            heap.push(Reverse((heuristic(window.point(s)), s)));
+        }
+
+        while let Some(Reverse((_, idx))) = heap.pop() {
+            let g = window.dist(idx);
+            if g == u64::MAX {
+                continue;
+            }
+            let p = window.point(idx);
+            if idx == target_idx {
+                // Back-trace.
+                let mut path = vec![idx];
+                let mut cur = idx;
+                while let Some(prev) = window.prev(cur) {
+                    path.push(prev);
+                    cur = prev;
+                }
+                path.reverse();
+                return Ok(path);
+            }
+            stats.expanded += 1;
+
+            let relax = |window: &mut Window,
+                         heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+                         q: Point3,
+                         step: f64| {
+                if !step.is_finite() {
+                    return;
+                }
+                let qi = window.index(q);
+                let ng = g.saturating_add(to_fixed(step));
+                if ng < window.dist(qi) {
+                    window.set(qi, ng, Some(idx));
+                    heap.push(Reverse((ng.saturating_add(heuristic(q)), qi)));
+                }
+            };
+
+            // Wire moves along the preferred direction (layers with capacity).
+            let layer = p.layer;
+            if layer >= 1 {
+                match graph.layer(layer).direction {
+                    Direction::Horizontal => {
+                        if p.x > window.rect.lo.x {
+                            let q = Point3::new(p.x - 1, p.y, layer);
+                            let cap = graph.wire_capacity(layer, q.xy()).unwrap_or(0.0);
+                            if cap > 0.0 {
+                                relax(window, &mut heap, q, graph.wire_edge_cost(layer, q.xy()));
+                            }
+                        }
+                        if p.x < window.rect.hi.x {
+                            let cap = graph.wire_capacity(layer, p.xy()).unwrap_or(0.0);
+                            if cap > 0.0 {
+                                let q = Point3::new(p.x + 1, p.y, layer);
+                                relax(window, &mut heap, q, graph.wire_edge_cost(layer, p.xy()));
+                            }
+                        }
+                    }
+                    Direction::Vertical => {
+                        if p.y > window.rect.lo.y {
+                            let q = Point3::new(p.x, p.y - 1, layer);
+                            let cap = graph.wire_capacity(layer, q.xy()).unwrap_or(0.0);
+                            if cap > 0.0 {
+                                relax(window, &mut heap, q, graph.wire_edge_cost(layer, q.xy()));
+                            }
+                        }
+                        if p.y < window.rect.hi.y {
+                            let cap = graph.wire_capacity(layer, p.xy()).unwrap_or(0.0);
+                            if cap > 0.0 {
+                                let q = Point3::new(p.x, p.y + 1, layer);
+                                relax(window, &mut heap, q, graph.wire_edge_cost(layer, p.xy()));
+                            }
+                        }
+                    }
+                }
+            }
+            // Via moves.
+            if layer + 1 < graph.num_layers() {
+                let q = Point3::new(p.x, p.y, layer + 1);
+                relax(window, &mut heap, q, graph.via_edge_cost(layer, p.xy()));
+            }
+            if layer > 0 {
+                let q = Point3::new(p.x, p.y, layer - 1);
+                relax(window, &mut heap, q, graph.via_edge_cost(layer - 1, p.xy()));
+            }
+        }
+        Err(MazeError::NoPath { target })
+    }
+
+    /// Converts a back-traced vertex path into merged segments and vias.
+    fn emit_geometry(window: &Window, path: &[usize], route: &mut Route) {
+        if path.len() < 2 {
+            return;
+        }
+        let pts: Vec<Point3> = path.iter().map(|&i| window.point(i)).collect();
+        let mut run_start = pts[0];
+        // Run-length merge: walk the path, cutting whenever the move kind
+        // (wire vs via) changes. Same-layer wire runs are always straight
+        // because shortest paths never revisit a vertex.
+        let mut i = 1;
+        while i < pts.len() {
+            let dir = step_dir(pts[i - 1], pts[i]);
+            let mut j = i;
+            while j + 1 < pts.len() && step_dir(pts[j], pts[j + 1]) == dir {
+                j += 1;
+            }
+            let (from, to) = (run_start, pts[j]);
+            match dir {
+                StepDir::Wire => {
+                    route.push_segment(Segment::new(from.layer, from.xy(), to.xy()));
+                }
+                StepDir::Via => {
+                    route.push_via(Via::new(from.xy(), from.layer, to.layer));
+                }
+            }
+            run_start = pts[j];
+            i = j + 1;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepDir {
+    Wire,
+    Via,
+}
+
+fn step_dir(a: Point3, b: Point3) -> StepDir {
+    if a.layer != b.layer {
+        StepDir::Via
+    } else {
+        StepDir::Wire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_grid::CostParams;
+    use proptest::prelude::*;
+
+    fn graph(w: u16, h: u16, layers: u8) -> GridGraph {
+        let mut g = GridGraph::new(w, h, layers, CostParams::default()).expect("valid");
+        g.fill_capacity(4.0);
+        g
+    }
+
+    #[test]
+    fn two_pin_route_is_connected_and_tight() {
+        let g = graph(16, 16, 4);
+        let r = MazeRouter::default()
+            .route(&g, &[Point2::new(1, 1), Point2::new(12, 9)])
+            .expect("routable");
+        assert!(r.is_connected());
+        // Shortest possible wirelength is the Manhattan distance.
+        assert_eq!(r.wirelength(), 19);
+        // Needs vias: from layer 0 up and between H/V layers.
+        assert!(r.via_count() >= 2);
+    }
+
+    #[test]
+    fn single_pin_net_routes_empty() {
+        let g = graph(8, 8, 4);
+        let r = MazeRouter::default()
+            .route(&g, &[Point2::new(3, 3)])
+            .expect("ok");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_pins_collapse() {
+        let g = graph(8, 8, 4);
+        let r = MazeRouter::default()
+            .route(&g, &[Point2::new(3, 3), Point2::new(3, 3)])
+            .expect("ok");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn empty_net_is_rejected() {
+        let g = graph(8, 8, 4);
+        assert_eq!(
+            MazeRouter::default().route(&g, &[]),
+            Err(MazeError::EmptyNet)
+        );
+    }
+
+    #[test]
+    fn out_of_grid_pin_is_rejected() {
+        let g = graph(8, 8, 4);
+        assert!(matches!(
+            MazeRouter::default().route(&g, &[Point2::new(0, 0), Point2::new(99, 0)]),
+            Err(MazeError::PinOutsideGrid { .. })
+        ));
+    }
+
+    #[test]
+    fn detours_around_congestion() {
+        let mut g = graph(16, 16, 4);
+        // Saturate the straight horizontal corridor on M1 at y=5.
+        let mut blocker = Route::new();
+        blocker.push_segment(Segment::new(1, Point2::new(0, 5), Point2::new(15, 5)));
+        for _ in 0..8 {
+            g.commit(&blocker).expect("valid");
+        }
+        let r = MazeRouter::default()
+            .route(&g, &[Point2::new(2, 5), Point2::new(13, 5)])
+            .expect("routable");
+        assert!(r.is_connected());
+        // With M3 (horizontal) available, the route should escape the
+        // saturated M1 corridor rather than add overflow there.
+        let m1_wl: u64 = r
+            .segments()
+            .iter()
+            .filter(|s| s.layer == 1 && s.from.y == 5)
+            .map(|s| s.length() as u64)
+            .sum();
+        assert!(
+            m1_wl < 11,
+            "expected detour off the congested corridor, m1 wl {m1_wl}"
+        );
+    }
+
+    #[test]
+    fn multi_pin_route_spans_all_pins() {
+        let g = graph(20, 20, 5);
+        let pins = [
+            Point2::new(2, 2),
+            Point2::new(17, 3),
+            Point2::new(9, 16),
+            Point2::new(4, 12),
+        ];
+        let r = MazeRouter::default().route(&g, &pins).expect("routable");
+        assert!(r.is_connected());
+        let touched = r.touched_points();
+        for pin in pins {
+            assert!(
+                touched.contains(&pin.on_layer(0)),
+                "pin {pin} not reached by the route"
+            );
+        }
+    }
+
+    #[test]
+    fn astar_and_dijkstra_agree_on_cost() {
+        let g = graph(24, 24, 4);
+        let pins = [Point2::new(1, 2), Point2::new(20, 19)];
+        let a = MazeRouter::new(MazeConfig {
+            astar: true,
+            ..MazeConfig::default()
+        })
+        .route(&g, &pins)
+        .expect("ok");
+        let d = MazeRouter::new(MazeConfig {
+            astar: false,
+            ..MazeConfig::default()
+        })
+        .route(&g, &pins)
+        .expect("ok");
+        assert!((g.route_cost(&a) - g.route_cost(&d)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn astar_expands_fewer_nodes() {
+        let g = graph(32, 32, 4);
+        let pins = [Point2::new(1, 1), Point2::new(30, 30)];
+        let (_, sa) = MazeRouter::new(MazeConfig {
+            astar: true,
+            window_margin: 16,
+        })
+        .route_with_stats(&g, &pins)
+        .expect("ok");
+        let (_, sd) = MazeRouter::new(MazeConfig {
+            astar: false,
+            window_margin: 16,
+        })
+        .route_with_stats(&g, &pins)
+        .expect("ok");
+        assert!(
+            sa.expanded < sd.expanded,
+            "a* {} vs dijkstra {}",
+            sa.expanded,
+            sd.expanded
+        );
+    }
+
+    #[test]
+    fn fully_blocked_layer_reports_no_path() {
+        let mut g = GridGraph::new(8, 8, 3, CostParams::default()).expect("valid");
+        // Only M1 (horizontal) has capacity; M2 stays at 0 so vertical
+        // movement is impossible.
+        g.set_layer_capacity(1, 4.0);
+        let res = MazeRouter::default().route(&g, &[Point2::new(0, 0), Point2::new(0, 7)]);
+        assert!(matches!(res, Err(MazeError::NoPath { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn random_two_pin_routes_connect(
+            ax in 0u16..20, ay in 0u16..20, bx in 0u16..20, by in 0u16..20
+        ) {
+            let g = graph(20, 20, 5);
+            let r = MazeRouter::default()
+                .route(&g, &[Point2::new(ax, ay), Point2::new(bx, by)])
+                .expect("routable");
+            prop_assert!(r.is_connected());
+            let manhattan =
+                Point2::new(ax, ay).manhattan_distance(Point2::new(bx, by)) as u64;
+            prop_assert!(r.wirelength() >= manhattan);
+            if (ax, ay) != (bx, by) {
+                let touched = r.touched_points();
+                prop_assert!(touched.contains(&Point2::new(ax, ay).on_layer(0)));
+                prop_assert!(touched.contains(&Point2::new(bx, by).on_layer(0)));
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! FLUTE-substitute Steiner tree construction with edge shifting.
+//!
+//! Pipeline (paper Fig. 5, "pattern routing planning"):
+//!
+//! 1. deduplicate pin G-cells;
+//! 2. Prim MST over the pins under Manhattan distance;
+//! 3. greedy **median Steinerisation**: for every parent with two children
+//!    routed separately, insert the component-wise median point when it
+//!    shortens the tree (this converts the MST towards an RSMT — the
+//!    classical Steiner-point insertion FLUTE would give us via lookup);
+//! 4. **edge shifting**: move Steiner nodes to the median of their
+//!    neighbours while it reduces wirelength (CUGR's tree optimisation).
+
+use fastgr_design::Net;
+use fastgr_grid::Point2;
+
+use crate::tree::RouteTree;
+
+fn median3(a: u16, b: u16, c: u16) -> u16 {
+    a.max(b).min(a.max(c)).min(b.max(c))
+}
+
+fn median_point(a: Point2, b: Point2, c: Point2) -> Point2 {
+    Point2::new(median3(a.x, b.x, c.x), median3(a.y, b.y, c.y))
+}
+
+/// Working representation during construction: parent-linked nodes.
+#[derive(Debug, Clone)]
+struct BuildNode {
+    position: Point2,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    is_pin: bool,
+}
+
+/// Builds rectilinear Steiner trees for nets.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_design::{Net, NetId, Pin};
+/// use fastgr_grid::Point2;
+/// use fastgr_steiner::SteinerBuilder;
+///
+/// // Three pins forming a T: the optimal tree uses a Steiner point.
+/// let net = Net::new(NetId(0), "t", vec![
+///     Pin::new(Point2::new(0, 0), 0),
+///     Pin::new(Point2::new(8, 0), 0),
+///     Pin::new(Point2::new(4, 5), 0),
+/// ]);
+/// let tree = SteinerBuilder::new().build(&net);
+/// assert_eq!(tree.wirelength(), 13); // HPWL-optimal for this instance
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SteinerBuilder {
+    max_passes: usize,
+    density: Option<DensityMap>,
+}
+
+/// A congestion density field consulted by the edge-shifting passes.
+#[derive(Debug, Clone)]
+struct DensityMap {
+    values: Vec<f64>,
+    width: u16,
+    weight: f64,
+}
+
+impl DensityMap {
+    fn at(&self, p: Point2) -> f64 {
+        self.values
+            .get(p.y as usize * self.width as usize + p.x as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+impl SteinerBuilder {
+    /// Creates a builder with the default number of optimisation passes.
+    pub fn new() -> Self {
+        Self {
+            max_passes: 4,
+            density: None,
+        }
+    }
+
+    /// Overrides the number of Steinerisation / edge-shifting passes
+    /// (0 disables optimisation, leaving the raw MST).
+    pub fn with_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes;
+        self
+    }
+
+    /// Makes edge shifting congestion-aware (CUGR's planning behaviour,
+    /// Fig. 5 of the paper): a Steiner node move must reduce
+    /// `wirelength + weight * density(position)` rather than wirelength
+    /// alone, so trees bend away from predicted hot spots. `density` is a
+    /// row-major `height x width` field (e.g. a RUDY map); `weight` scales
+    /// density units into G-cell-edge units.
+    pub fn with_density(mut self, density: Vec<f64>, width: u16, weight: f64) -> Self {
+        self.density = Some(DensityMap {
+            values: density,
+            width,
+            weight,
+        });
+        self
+    }
+
+    /// Builds the routing tree for `net`.
+    pub fn build(&self, net: &Net) -> RouteTree {
+        let positions = net.distinct_positions();
+        self.build_from_positions(&positions)
+    }
+
+    /// Builds the routing tree over explicit distinct G-cell positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty.
+    pub fn build_from_positions(&self, positions: &[Point2]) -> RouteTree {
+        assert!(!positions.is_empty(), "need at least one position");
+        if positions.len() == 1 {
+            return RouteTree::singleton(positions[0]);
+        }
+
+        let mut nodes = prim_mst(positions);
+        for _ in 0..self.max_passes {
+            let a = steinerize_pass(&mut nodes);
+            let b = edge_shift_pass(&mut nodes, self.density.as_ref());
+            if !a && !b {
+                break;
+            }
+        }
+        prune_useless_steiner(&mut nodes);
+        to_route_tree(nodes)
+    }
+}
+
+/// Prim MST over the positions; node 0 becomes the root.
+fn prim_mst(positions: &[Point2]) -> Vec<BuildNode> {
+    let n = positions.len();
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![u32::MAX; n];
+    let mut best_link = vec![0usize; n];
+    let mut nodes: Vec<BuildNode> = positions
+        .iter()
+        .map(|&position| BuildNode {
+            position,
+            parent: None,
+            children: Vec::new(),
+            is_pin: true,
+        })
+        .collect();
+
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = positions[0].manhattan_distance(positions[j]);
+        best_link[j] = 0;
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = u32::MAX;
+        for j in 0..n {
+            if !in_tree[j] && best_dist[j] < pick_d {
+                pick_d = best_dist[j];
+                pick = j;
+            }
+        }
+        in_tree[pick] = true;
+        nodes[pick].parent = Some(best_link[pick]);
+        nodes[best_link[pick]].children.push(pick);
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = positions[pick].manhattan_distance(positions[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_link[j] = pick;
+                }
+            }
+        }
+    }
+    nodes
+}
+
+/// One pass of greedy median Steinerisation. Returns whether anything
+/// improved.
+fn steinerize_pass(nodes: &mut Vec<BuildNode>) -> bool {
+    let mut improved = false;
+    let mut i = 0;
+    while i < nodes.len() {
+        // Collect sibling pairs under node i lazily; the child list can
+        // change as we insert Steiner nodes.
+        'retry: loop {
+            let children = nodes[i].children.clone();
+            if children.len() < 2 {
+                break;
+            }
+            let p = nodes[i].position;
+            for a_idx in 0..children.len() {
+                for b_idx in a_idx + 1..children.len() {
+                    let (a, b) = (children[a_idx], children[b_idx]);
+                    let (pa, pb) = (nodes[a].position, nodes[b].position);
+                    let s = median_point(p, pa, pb);
+                    if s == p {
+                        continue;
+                    }
+                    let old = p.manhattan_distance(pa) + p.manhattan_distance(pb);
+                    let new = p.manhattan_distance(s)
+                        + s.manhattan_distance(pa)
+                        + s.manhattan_distance(pb);
+                    if new < old {
+                        // Insert Steiner node s between p and {a, b}.
+                        let s_idx = nodes.len();
+                        nodes.push(BuildNode {
+                            position: s,
+                            parent: Some(i),
+                            children: vec![a, b],
+                            is_pin: false,
+                        });
+                        nodes[i].children.retain(|&c| c != a && c != b);
+                        nodes[i].children.push(s_idx);
+                        nodes[a].parent = Some(s_idx);
+                        nodes[b].parent = Some(s_idx);
+                        improved = true;
+                        continue 'retry;
+                    }
+                }
+            }
+            break;
+        }
+        i += 1;
+    }
+    improved
+}
+
+/// One pass of edge shifting: move every Steiner node to the component-wise
+/// median of its neighbours when that reduces the (optionally
+/// congestion-weighted) cost.
+fn edge_shift_pass(nodes: &mut [BuildNode], density: Option<&DensityMap>) -> bool {
+    let mut improved = false;
+    for i in 0..nodes.len() {
+        if nodes[i].is_pin {
+            continue;
+        }
+        let mut xs: Vec<u16> = Vec::new();
+        let mut ys: Vec<u16> = Vec::new();
+        if let Some(p) = nodes[i].parent {
+            xs.push(nodes[p].position.x);
+            ys.push(nodes[p].position.y);
+        }
+        for &c in &nodes[i].children {
+            xs.push(nodes[c].position.x);
+            ys.push(nodes[c].position.y);
+        }
+        if xs.is_empty() {
+            continue;
+        }
+        xs.sort_unstable();
+        ys.sort_unstable();
+        let cost = |at: Point2, nodes: &[BuildNode], i: usize| -> f64 {
+            let mut c = 0.0;
+            if let Some(p) = nodes[i].parent {
+                c += at.manhattan_distance(nodes[p].position) as f64;
+            }
+            for &ch in &nodes[i].children {
+                c += at.manhattan_distance(nodes[ch].position) as f64;
+            }
+            if let Some(d) = density {
+                c += d.weight * d.at(at);
+            }
+            c
+        };
+        // Candidates: the exact median plus, when congestion-aware, its
+        // axis-aligned neighbours within the median range (so the node can
+        // slide off a hot spot without lengthening the tree).
+        let median = Point2::new(xs[xs.len() / 2], ys[ys.len() / 2]);
+        let mut candidates = vec![median];
+        if density.is_some() {
+            let (xlo, xhi) = (xs[0], xs[xs.len() - 1]);
+            let (ylo, yhi) = (ys[0], ys[ys.len() - 1]);
+            if median.x > xlo {
+                candidates.push(Point2::new(median.x - 1, median.y));
+            }
+            if median.x < xhi {
+                candidates.push(Point2::new(median.x + 1, median.y));
+            }
+            if median.y > ylo {
+                candidates.push(Point2::new(median.x, median.y - 1));
+            }
+            if median.y < yhi {
+                candidates.push(Point2::new(median.x, median.y + 1));
+            }
+        }
+        let here = cost(nodes[i].position, nodes, i);
+        let mut best = here;
+        let mut best_at = nodes[i].position;
+        for cand in candidates {
+            if cand == nodes[i].position {
+                continue;
+            }
+            let c = cost(cand, nodes, i);
+            if c < best - 1e-12 {
+                best = c;
+                best_at = cand;
+            }
+        }
+        if best_at != nodes[i].position {
+            nodes[i].position = best_at;
+            improved = true;
+        }
+    }
+    improved
+}
+
+/// Removes Steiner nodes that ended up colinear-useless: degree <= 2 and
+/// coincident with a neighbour, splicing them out.
+fn prune_useless_steiner(nodes: &mut Vec<BuildNode>) {
+    for i in 0..nodes.len() {
+        if nodes[i].is_pin {
+            continue;
+        }
+        let Some(p) = nodes[i].parent else { continue };
+        // Coincident with parent: move children up.
+        if nodes[i].position == nodes[p].position {
+            let children = std::mem::take(&mut nodes[i].children);
+            for &c in &children {
+                nodes[c].parent = Some(p);
+            }
+            nodes[p].children.extend(children);
+            nodes[p].children.retain(|&c| c != i);
+            nodes[i].parent = None; // detached; dropped in `to_route_tree`
+        }
+    }
+    let _ = nodes; // compaction happens in `to_route_tree`
+}
+
+/// Converts build nodes into the public tree, dropping detached nodes and
+/// re-rooting at the first pin.
+fn to_route_tree(nodes: Vec<BuildNode>) -> RouteTree {
+    // Collect reachable nodes from root 0.
+    let mut keep = Vec::new();
+    let mut stack = vec![0usize];
+    let mut seen = vec![false; nodes.len()];
+    while let Some(i) = stack.pop() {
+        if seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        keep.push(i);
+        for &c in &nodes[i].children {
+            if nodes[c].parent == Some(i) {
+                stack.push(c);
+            }
+        }
+    }
+    keep.sort_unstable();
+    let remap: std::collections::HashMap<usize, u32> = keep
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new as u32))
+        .collect();
+
+    let mut positions = Vec::with_capacity(keep.len());
+    let mut parents = vec![0u32; keep.len()];
+    let mut is_pin = Vec::with_capacity(keep.len());
+    for (new, &old) in keep.iter().enumerate() {
+        positions.push(nodes[old].position);
+        is_pin.push(nodes[old].is_pin);
+        parents[new] = nodes[old]
+            .parent
+            .and_then(|p| remap.get(&p).copied())
+            .unwrap_or(0);
+    }
+    RouteTree::from_parents(positions, parents, is_pin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_design::{NetId, Pin};
+    use proptest::prelude::*;
+
+    fn net_of(points: &[(u16, u16)]) -> Net {
+        Net::new(
+            NetId(0),
+            "n",
+            points
+                .iter()
+                .map(|&(x, y)| Pin::new(Point2::new(x, y), 0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn two_pin_tree_is_direct() {
+        let t = SteinerBuilder::new().build(&net_of(&[(0, 0), (5, 3)]));
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.wirelength(), 8);
+    }
+
+    #[test]
+    fn t_shape_gets_a_steiner_point() {
+        // Pins (0,0), (8,0), (4,5): MST costs 8 + 9 = 17, RSMT costs 13.
+        let t = SteinerBuilder::new().build(&net_of(&[(0, 0), (8, 0), (4, 5)]));
+        assert_eq!(t.wirelength(), 13);
+        assert!(
+            t.nodes().iter().any(|n| !n.is_pin),
+            "expected a Steiner node"
+        );
+    }
+
+    #[test]
+    fn steinerisation_never_hurts() {
+        let pts = [(0, 0), (9, 1), (4, 8), (2, 3), (7, 7)];
+        let raw = SteinerBuilder::new().with_passes(0).build(&net_of(&pts));
+        let opt = SteinerBuilder::new().build(&net_of(&pts));
+        assert!(opt.wirelength() <= raw.wirelength());
+    }
+
+    #[test]
+    fn duplicate_pins_collapse() {
+        let t = SteinerBuilder::new().build(&net_of(&[(3, 3), (3, 3), (3, 3)]));
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.wirelength(), 0);
+    }
+
+    #[test]
+    fn colinear_pins_form_a_path_with_exact_length() {
+        let t = SteinerBuilder::new().build(&net_of(&[(0, 0), (4, 0), (9, 0), (2, 0)]));
+        assert_eq!(t.wirelength(), 9);
+    }
+
+    #[test]
+    fn density_steers_steiner_nodes_off_hot_spots() {
+        // T-shaped net whose natural Steiner point lands at (4, 0); make
+        // that column hot and the node must slide sideways.
+        let pts = [(0, 0), (8, 0), (4, 5)];
+        let width = 16u16;
+        let mut density = vec![0.0f64; 16 * 16];
+        for y in 0..16 {
+            density[y * 16 + 4] = 50.0;
+        }
+        let plain = SteinerBuilder::new().build(&net_of(&pts));
+        let aware = SteinerBuilder::new()
+            .with_density(density, width, 1.0)
+            .build(&net_of(&pts));
+        let steiner_x = |t: &RouteTree| t.nodes().iter().find(|n| !n.is_pin).map(|n| n.position.x);
+        assert_eq!(steiner_x(&plain), Some(4));
+        let shifted = steiner_x(&aware).expect("steiner node exists");
+        assert_ne!(shifted, 4, "node must leave the hot column");
+        // The detour cost is bounded: wirelength grows by at most the slide.
+        assert!(aware.wirelength() <= plain.wirelength() + 2);
+    }
+
+    proptest! {
+        #[test]
+        fn tree_spans_all_pins_and_is_connected(
+            pts in proptest::collection::hash_set((0u16..40, 0u16..40), 1..12)
+        ) {
+            let pts: Vec<(u16, u16)> = pts.into_iter().collect();
+            let net = net_of(&pts);
+            let tree = SteinerBuilder::new().build(&net);
+
+            // Every distinct pin position appears as a pin node.
+            for p in net.distinct_positions() {
+                prop_assert!(
+                    tree.nodes().iter().any(|n| n.is_pin && n.position == p),
+                    "pin {p} missing from tree"
+                );
+            }
+            // Edge count invariant.
+            prop_assert_eq!(tree.ordered_edges().len(), tree.node_count() - 1);
+            // Bottom-up order: children before parents.
+            let edges = tree.ordered_edges();
+            for (i, e) in edges.iter().enumerate() {
+                for c in tree.child_edges(*e) {
+                    let ci = edges.iter().position(|x| x.child == c.child).unwrap();
+                    prop_assert!(ci < i);
+                }
+            }
+        }
+
+        #[test]
+        fn wirelength_at_least_hpwl(
+            pts in proptest::collection::hash_set((0u16..60, 0u16..60), 2..10)
+        ) {
+            let pts: Vec<(u16, u16)> = pts.into_iter().collect();
+            let net = net_of(&pts);
+            let tree = SteinerBuilder::new().build(&net);
+            // A connected rectilinear tree must cover the full x- and
+            // y-extent of the pins, so HPWL is a lower bound; the MST from
+            // pass 0 is an upper bound.
+            prop_assert!(tree.wirelength() >= net.hpwl() as u64);
+            let mst = SteinerBuilder::new().with_passes(0).build(&net);
+            prop_assert!(tree.wirelength() <= mst.wirelength());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Steiner tree construction and intranet ordering for FastGR.
+//!
+//! The modern global router decomposes every multi-pin net into two-pin nets
+//! via a rectilinear Steiner tree (paper Section II-B). This crate provides:
+//!
+//! * [`RouteTree`] — the routing topology: a tree of 2-D G-cell nodes with
+//!   one node per pin plus inserted Steiner nodes;
+//! * [`SteinerBuilder`] — a FLUTE-substitute constructor: Prim MST over the
+//!   pins followed by greedy median Steinerisation and *edge shifting*
+//!   (CUGR's tree optimisation, which FastGR's planning stage runs before
+//!   scheduling);
+//! * bottom-up **DFS intranet ordering** (Section II-D, Fig. 4): the order
+//!   in which the pattern-routing dynamic program must process the two-pin
+//!   nets so that every child edge is routed before its parent edge.
+//!
+//! # Example
+//!
+//! ```
+//! use fastgr_design::{Net, NetId, Pin};
+//! use fastgr_grid::Point2;
+//! use fastgr_steiner::SteinerBuilder;
+//!
+//! let net = Net::new(NetId(0), "n", vec![
+//!     Pin::new(Point2::new(0, 0), 0),
+//!     Pin::new(Point2::new(8, 0), 0),
+//!     Pin::new(Point2::new(4, 6), 0),
+//! ]);
+//! let tree = SteinerBuilder::new().build(&net);
+//! // A tree over k >= 1 nodes has k - 1 edges, children ordered first.
+//! let edges = tree.ordered_edges();
+//! assert_eq!(edges.len(), tree.node_count() - 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod tree;
+
+pub use builder::SteinerBuilder;
+pub use tree::{RouteTree, TreeEdge, TreeNode};

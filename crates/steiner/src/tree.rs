@@ -1,0 +1,297 @@
+//! The routing topology tree and its bottom-up DFS ordering.
+
+use std::fmt;
+
+use fastgr_grid::Point2;
+
+/// One node of a [`RouteTree`]: a pin or an inserted Steiner point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// 2-D G-cell the node occupies.
+    pub position: Point2,
+    /// Parent node index; `None` for the root.
+    pub parent: Option<u32>,
+    /// Child node indices.
+    pub children: Vec<u32>,
+    /// Whether the node carries a pin (Steiner points do not).
+    pub is_pin: bool,
+}
+
+/// One two-pin net of the decomposition: the tree edge from a `child` node
+/// up to its `parent` node.
+///
+/// In the paper's notation the edge is the two-pin net `Ps -> Pt` with
+/// `Ps` = child position, `Pt` = parent position; the *children* of this
+/// two-pin net are the edges from the child node's own children into the
+/// child node (their DP results feed the bottom-children cost, Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeEdge {
+    /// Child node index (`Ps` side).
+    pub child: u32,
+    /// Parent node index (`Pt` side).
+    pub parent: u32,
+}
+
+/// A rooted rectilinear routing tree for one net.
+///
+/// Node 0 is always the root. Every non-root node has exactly one parent,
+/// so edges are identified by their child node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RouteTree {
+    /// Builds a tree from parent links.
+    ///
+    /// `parents[i]` is the parent of node `i` (`parents[0]` is ignored; node
+    /// 0 is the root). `is_pin[i]` marks pin nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent, a parent index is out of
+    /// range, or the links contain a cycle (i.e. they do not form a tree
+    /// rooted at node 0).
+    pub fn from_parents(positions: Vec<Point2>, parents: Vec<u32>, is_pin: Vec<bool>) -> Self {
+        assert_eq!(positions.len(), parents.len());
+        assert_eq!(positions.len(), is_pin.len());
+        assert!(!positions.is_empty(), "a tree needs at least one node");
+        let n = positions.len();
+        let mut nodes: Vec<TreeNode> = positions
+            .into_iter()
+            .zip(is_pin)
+            .map(|(position, is_pin)| TreeNode {
+                position,
+                parent: None,
+                children: Vec::new(),
+                is_pin,
+            })
+            .collect();
+        for i in 1..n {
+            let p = parents[i] as usize;
+            assert!(p < n, "parent index out of range");
+            nodes[i].parent = Some(parents[i]);
+            nodes[p].children.push(i as u32);
+        }
+        let tree = Self { nodes };
+        // Reject cycles / forests: every node must reach the root.
+        let order = tree.dfs_preorder();
+        assert_eq!(
+            order.len(),
+            n,
+            "parent links do not form a tree rooted at node 0"
+        );
+        tree
+    }
+
+    /// A single-node tree (a net whose pins share one G-cell).
+    pub fn singleton(position: Point2) -> Self {
+        Self {
+            nodes: vec![TreeNode {
+                position,
+                parent: None,
+                children: Vec::new(),
+                is_pin: true,
+            }],
+        }
+    }
+
+    /// The nodes; node 0 is the root.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// One node by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: u32) -> &TreeNode {
+        &self.nodes[i as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Root node index (always 0).
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Total rectilinear length of all tree edges (lower bound on routed
+    /// wirelength).
+    pub fn wirelength(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| {
+                n.parent.map(|p| {
+                    n.position
+                        .manhattan_distance(self.nodes[p as usize].position)
+                        as u64
+                })
+            })
+            .sum()
+    }
+
+    /// DFS preorder over node indices starting at the root, children in
+    /// index order (deterministic).
+    fn dfs_preorder(&self) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![0u32];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(i) = stack.pop() {
+            if seen[i as usize] {
+                continue;
+            }
+            seen[i as usize] = true;
+            order.push(i);
+            // Push children reversed so they pop in ascending order.
+            for &c in self.nodes[i as usize].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// The two-pin nets in **bottom-up routing order** (Section II-D): the
+    /// reverse of the DFS visit sequence, so every edge appears *after* all
+    /// edges in its child subtree — exactly the order the pattern-routing
+    /// dynamic program needs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fastgr_grid::Point2;
+    /// use fastgr_steiner::RouteTree;
+    ///
+    /// // A path root(0) - 1 - 2: the deepest edge must come first.
+    /// let tree = RouteTree::from_parents(
+    ///     vec![Point2::new(0, 0), Point2::new(1, 0), Point2::new(2, 0)],
+    ///     vec![0, 0, 1],
+    ///     vec![true, true, true],
+    /// );
+    /// let edges = tree.ordered_edges();
+    /// assert_eq!(edges[0].child, 2);
+    /// assert_eq!(edges[1].child, 1);
+    /// ```
+    pub fn ordered_edges(&self) -> Vec<TreeEdge> {
+        let mut order = self.dfs_preorder();
+        order.reverse();
+        order
+            .into_iter()
+            .filter_map(|i| {
+                self.nodes[i as usize].parent.map(|p| TreeEdge {
+                    child: i,
+                    parent: p,
+                })
+            })
+            .collect()
+    }
+
+    /// The child edges of the two-pin net identified by `edge`: the edges
+    /// whose parent node is `edge.child` (the `P_s^(i) -> P_s` of Eq. 2).
+    pub fn child_edges(&self, edge: TreeEdge) -> Vec<TreeEdge> {
+        self.nodes[edge.child as usize]
+            .children
+            .iter()
+            .map(|&c| TreeEdge {
+                child: c,
+                parent: edge.child,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for RouteTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "route tree: {} nodes, wl {}",
+            self.nodes.len(),
+            self.wirelength()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 4 example: a path P6(root) - P5 - P4 - P3 - P2 - P1.
+    fn fig4_tree() -> RouteTree {
+        let positions = (0..6).map(|i| Point2::new(i as u16, 0)).collect();
+        RouteTree::from_parents(positions, vec![0, 0, 1, 2, 3, 4], vec![true; 6])
+    }
+
+    #[test]
+    fn fig4_ordering_is_leaf_to_root() {
+        let tree = fig4_tree();
+        let edges = tree.ordered_edges();
+        let children: Vec<u32> = edges.iter().map(|e| e.child).collect();
+        // e1 is the deepest edge (P1 -> P2), e5 the root edge (P5 -> P6).
+        assert_eq!(children, vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn child_edges_appear_before_parent_edge() {
+        let tree = RouteTree::from_parents(
+            vec![
+                Point2::new(5, 5),
+                Point2::new(3, 5),
+                Point2::new(3, 2),
+                Point2::new(1, 5),
+                Point2::new(7, 7),
+            ],
+            vec![0, 0, 1, 1, 0],
+            vec![true; 5],
+        );
+        let edges = tree.ordered_edges();
+        let pos = |child: u32| {
+            edges
+                .iter()
+                .position(|e| e.child == child)
+                .expect("edge exists")
+        };
+        for e in &edges {
+            for c in tree.child_edges(*e) {
+                assert!(
+                    pos(c.child) < pos(e.child),
+                    "child edge must be ordered first"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_has_no_edges() {
+        let t = RouteTree::singleton(Point2::new(3, 3));
+        assert!(t.ordered_edges().is_empty());
+        assert_eq!(t.wirelength(), 0);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn wirelength_sums_edge_lengths() {
+        let tree = fig4_tree();
+        assert_eq!(tree.wirelength(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not form a tree")]
+    fn cyclic_links_panic() {
+        // 1 -> 2 -> 1 cycle disconnected from the root.
+        let _ = RouteTree::from_parents(
+            vec![Point2::new(0, 0), Point2::new(1, 0), Point2::new(2, 0)],
+            vec![0, 2, 1],
+            vec![true; 3],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_tree_panics() {
+        let _ = RouteTree::from_parents(vec![], vec![], vec![]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Algorithm 1: greedy batch extraction.
+
+use crate::conflict::ConflictGraph;
+
+/// Partitions tasks into conflict-free batches (paper Algorithm 1).
+///
+/// `order` lists the task ids in the chosen net order (e.g. ascending
+/// bounding-box half-perimeter, Section IV-C). The algorithm repeatedly
+/// starts a batch with the first remaining task, then scans the remaining
+/// tasks in order and pulls in every task that conflicts with nothing
+/// already in the batch — a greedy maximal independent set per batch.
+///
+/// Every task appears in exactly one batch; the first batch is the *root
+/// task batch* used by the two-stage scheduler.
+///
+/// # Panics
+///
+/// Panics if `order` contains an id out of range of `conflicts`, or lists
+/// any task twice.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_grid::{Point2, Rect};
+/// use fastgr_taskgraph::{extract_batches, ConflictGraph};
+///
+/// // A chain of three mutually overlapping boxes 0-1, 1-2.
+/// let boxes = vec![
+///     Rect::new(Point2::new(0, 0), Point2::new(4, 4)),
+///     Rect::new(Point2::new(3, 3), Point2::new(7, 7)),
+///     Rect::new(Point2::new(6, 6), Point2::new(9, 9)),
+/// ];
+/// let conflicts = ConflictGraph::from_bounding_boxes(&boxes);
+/// let batches = extract_batches(&[0, 1, 2], &conflicts);
+/// assert_eq!(batches, vec![vec![0, 2], vec![1]]);
+/// ```
+pub fn extract_batches(order: &[u32], conflicts: &ConflictGraph) -> Vec<Vec<u32>> {
+    let n = conflicts.task_count();
+    let mut assigned = vec![false; n];
+    let mut blocked = vec![u32::MAX; n]; // batch number that blocks the task
+    let mut batches: Vec<Vec<u32>> = Vec::new();
+
+    let mut remaining: Vec<u32> = order.to_vec();
+    {
+        let mut seen = vec![false; n];
+        for &t in &remaining {
+            assert!((t as usize) < n, "task id {t} out of range");
+            assert!(!seen[t as usize], "task id {t} listed twice");
+            seen[t as usize] = true;
+        }
+    }
+
+    let mut batch_no = 0u32;
+    while !remaining.is_empty() {
+        let mut batch = Vec::new();
+        let mut rest = Vec::with_capacity(remaining.len());
+        for &t in &remaining {
+            if assigned[t as usize] {
+                continue;
+            }
+            if blocked[t as usize] == batch_no {
+                rest.push(t);
+                continue;
+            }
+            // No conflict with anything already in this batch: take it.
+            assigned[t as usize] = true;
+            for &nb in conflicts.neighbors(t) {
+                if !assigned[nb as usize] {
+                    blocked[nb as usize] = batch_no;
+                }
+            }
+            batch.push(t);
+        }
+        debug_assert!(!batch.is_empty(), "every round must make progress");
+        batches.push(batch);
+        remaining = rest;
+        batch_no += 1;
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_grid::{Point2, Rect};
+    use proptest::prelude::*;
+
+    fn rect(x0: u16, y0: u16, x1: u16, y1: u16) -> Rect {
+        Rect::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    #[test]
+    fn independent_tasks_form_one_batch() {
+        let boxes = vec![rect(0, 0, 1, 1), rect(5, 5, 6, 6), rect(10, 10, 11, 11)];
+        let conflicts = ConflictGraph::from_bounding_boxes(&boxes);
+        let batches = extract_batches(&[0, 1, 2], &conflicts);
+        assert_eq!(batches, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn clique_serialises_fully() {
+        let boxes = vec![rect(0, 0, 9, 9), rect(1, 1, 8, 8), rect(2, 2, 7, 7)];
+        let conflicts = ConflictGraph::from_bounding_boxes(&boxes);
+        let batches = extract_batches(&[2, 0, 1], &conflicts);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0], vec![2]); // order is respected
+    }
+
+    #[test]
+    fn order_determines_batch_leaders() {
+        let boxes = vec![rect(0, 0, 4, 4), rect(3, 3, 7, 7)];
+        let conflicts = ConflictGraph::from_bounding_boxes(&boxes);
+        assert_eq!(extract_batches(&[0, 1], &conflicts)[0], vec![0]);
+        assert_eq!(extract_batches(&[1, 0], &conflicts)[0], vec![1]);
+    }
+
+    #[test]
+    fn empty_order_gives_no_batches() {
+        let conflicts = ConflictGraph::from_bounding_boxes(&[]);
+        assert!(extract_batches(&[], &conflicts).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_ids_panic() {
+        let boxes = vec![rect(0, 0, 1, 1)];
+        let conflicts = ConflictGraph::from_bounding_boxes(&boxes);
+        let _ = extract_batches(&[0, 0], &conflicts);
+    }
+
+    proptest! {
+        #[test]
+        fn batches_partition_and_are_conflict_free(
+            raw in proptest::collection::vec((0u16..30, 0u16..30, 0u16..8, 0u16..8), 1..30)
+        ) {
+            let boxes: Vec<Rect> = raw
+                .iter()
+                .map(|&(x, y, w, h)| rect(x, y, x + w, y + h))
+                .collect();
+            let conflicts = ConflictGraph::from_bounding_boxes(&boxes);
+            let order: Vec<u32> = (0..boxes.len() as u32).collect();
+            let batches = extract_batches(&order, &conflicts);
+
+            // Partition: every task exactly once.
+            let mut seen = vec![false; boxes.len()];
+            for batch in &batches {
+                for &t in batch {
+                    prop_assert!(!seen[t as usize]);
+                    seen[t as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+
+            // No conflicts inside a batch.
+            for batch in &batches {
+                for (i, &a) in batch.iter().enumerate() {
+                    for &b in &batch[i + 1..] {
+                        prop_assert!(!conflicts.conflicts(a, b));
+                    }
+                }
+            }
+
+            // Maximality of each batch w.r.t. the scan: every task not in
+            // batch k conflicts with something in some earlier-or-equal
+            // batch... (weaker check: batch count is bounded by max degree + 1)
+            let max_deg = (0..boxes.len() as u32)
+                .map(|t| conflicts.neighbors(t).len())
+                .max()
+                .unwrap_or(0);
+            prop_assert!(batches.len() <= max_deg + 1);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Bounding-box conflict graph construction.
+
+use std::fmt;
+
+use fastgr_grid::Rect;
+
+/// The task conflict graph: tasks are vertices, an edge joins every pair of
+/// tasks whose bounding boxes overlap (they would touch the same routing
+/// resources and must not execute concurrently).
+///
+/// Construction uses a uniform bucket grid so the expected cost is close to
+/// linear in the number of tasks plus the number of actual conflicts,
+/// instead of the all-pairs `O(n^2)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictGraph {
+    adjacency: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph of `boxes` (task `i` owns `boxes[i]`).
+    pub fn from_bounding_boxes(boxes: &[Rect]) -> Self {
+        let n = boxes.len();
+        let mut adjacency = vec![Vec::new(); n];
+        if n == 0 {
+            return Self {
+                adjacency,
+                edge_count: 0,
+            };
+        }
+
+        // Bucket size: aim for a few boxes per bucket.
+        let max_x = boxes.iter().map(|b| b.hi.x).max().unwrap_or(0) as usize + 1;
+        let max_y = boxes.iter().map(|b| b.hi.y).max().unwrap_or(0) as usize + 1;
+        let target_buckets = (n as f64).sqrt().ceil() as usize + 1;
+        let bucket_w = (max_x / target_buckets).max(1);
+        let bucket_h = (max_y / target_buckets).max(1);
+        let cols = max_x.div_ceil(bucket_w);
+        let rows = max_y.div_ceil(bucket_h);
+
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cols * rows];
+        for (i, b) in boxes.iter().enumerate() {
+            let c0 = b.lo.x as usize / bucket_w;
+            let c1 = b.hi.x as usize / bucket_w;
+            let r0 = b.lo.y as usize / bucket_h;
+            let r1 = b.hi.y as usize / bucket_h;
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    buckets[r * cols + c].push(i as u32);
+                }
+            }
+        }
+
+        let mut edge_count = 0;
+        let mut seen_pair = std::collections::HashSet::new();
+        for bucket in &buckets {
+            for (k, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[k + 1..] {
+                    let (a, b) = (i.min(j), i.max(j));
+                    if boxes[a as usize].intersects(&boxes[b as usize]) && seen_pair.insert((a, b))
+                    {
+                        adjacency[a as usize].push(b);
+                        adjacency[b as usize].push(a);
+                        edge_count += 1;
+                    }
+                }
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        Self {
+            adjacency,
+            edge_count,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of conflict edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The tasks conflicting with `task`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn neighbors(&self, task: u32) -> &[u32] {
+        &self.adjacency[task as usize]
+    }
+
+    /// Whether tasks `a` and `b` conflict.
+    pub fn conflicts(&self, a: u32, b: u32) -> bool {
+        self.adjacency[a as usize].binary_search(&b).is_ok()
+    }
+}
+
+impl fmt::Display for ConflictGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflict graph: {} tasks, {} edges",
+            self.task_count(),
+            self.edge_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgr_grid::Point2;
+    use proptest::prelude::*;
+
+    fn rect(x0: u16, y0: u16, x1: u16, y1: u16) -> Rect {
+        Rect::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = ConflictGraph::from_bounding_boxes(&[]);
+        assert_eq!(g.task_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn detects_overlaps_and_ignores_disjoint() {
+        let g = ConflictGraph::from_bounding_boxes(&[
+            rect(0, 0, 4, 4),
+            rect(3, 3, 8, 8),
+            rect(20, 20, 25, 25),
+        ]);
+        assert!(g.conflicts(0, 1));
+        assert!(g.conflicts(1, 0));
+        assert!(!g.conflicts(0, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn edge_touching_counts_as_conflict() {
+        let g = ConflictGraph::from_bounding_boxes(&[rect(0, 0, 2, 2), rect(2, 2, 4, 4)]);
+        assert!(g.conflicts(0, 1));
+    }
+
+    #[test]
+    fn no_self_edges() {
+        let g = ConflictGraph::from_bounding_boxes(&[rect(0, 0, 4, 4)]);
+        assert!(g.neighbors(0).is_empty());
+    }
+
+    proptest! {
+        /// Bucketised construction must agree exactly with the all-pairs
+        /// reference for arbitrary boxes.
+        #[test]
+        fn matches_all_pairs_reference(
+            raw in proptest::collection::vec((0u16..50, 0u16..50, 0u16..12, 0u16..12), 0..40)
+        ) {
+            let boxes: Vec<Rect> = raw
+                .iter()
+                .map(|&(x, y, w, h)| rect(x, y, x + w, y + h))
+                .collect();
+            let g = ConflictGraph::from_bounding_boxes(&boxes);
+            for i in 0..boxes.len() {
+                for j in (i + 1)..boxes.len() {
+                    let expect = boxes[i].intersects(&boxes[j]);
+                    prop_assert_eq!(
+                        g.conflicts(i as u32, j as u32),
+                        expect,
+                        "pair ({}, {}) expected {}", i, j, expect
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Use the global router as a congestion predictor: route a design, then
+//! render the 2-D congestion heat map as ASCII art — the "congestion map
+//! for placement" use case from the paper's introduction.
+//!
+//! ```text
+//! cargo run --release --example congestion_map
+//! ```
+
+use fastgr::core::{PatternEngine, PatternMode, PatternStage, SortingScheme};
+use fastgr::design::{Generator, GeneratorParams};
+use fastgr::grid::CostParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deliberately congested design: strong hotspots, low capacity.
+    let design = Generator::new(GeneratorParams {
+        name: "congestion-demo".into(),
+        width: 48,
+        height: 24,
+        layers: 6,
+        num_nets: 900,
+        capacity: 3.0,
+        hotspots: 3,
+        hotspot_affinity: 0.55,
+        blockages: 2,
+        seed: 7,
+    })
+    .generate();
+
+    // A congestion map only needs the (fast) pattern routing stage.
+    let mut graph = design.build_graph(CostParams::default())?;
+    let stage = PatternStage {
+        mode: PatternMode::LShape,
+        engine: PatternEngine::SequentialCpu,
+        sorting: SortingScheme::HpwlAscending,
+        steiner_passes: 4,
+        congestion_aware_planning: false,
+    };
+    stage.run(&design, &mut graph)?;
+
+    let heat = graph.congestion_heatmap();
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    println!(
+        "congestion heat map ({}x{}, '@' = overflow):",
+        design.width(),
+        design.height()
+    );
+    for y in (0..design.height()).rev() {
+        let mut line = String::new();
+        for x in 0..design.width() {
+            let u = heat[y as usize * design.width() as usize + x as usize];
+            let idx = ((u * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
+            line.push(shades[idx]);
+        }
+        println!("|{line}|");
+    }
+    let report = graph.report();
+    println!("{report}");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! The full flow of the paper's evaluation: global routing with FastGR_H,
+//! guide generation, then detailed routing with the Dr.CU-substitute —
+//! a one-design slice of Table X.
+//!
+//! ```text
+//! cargo run --release --example full_flow
+//! ```
+
+use fastgr::core::{Router, RouterConfig};
+use fastgr::design::BenchmarkSpec;
+use fastgr::dr::{DetailedRouter, DrConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = BenchmarkSpec::find("s18t5m").expect("suite benchmark");
+    let design = spec.generate();
+    println!("{design}\n");
+
+    for (label, config) in [
+        ("CUGR (baseline)", RouterConfig::cugr()),
+        ("FastGR_H", RouterConfig::fastgr_h()),
+    ] {
+        // Stage 1+2: global routing.
+        let gr = Router::new(config).run(&design)?;
+        println!("{label}: global routing {}", gr.metrics);
+        println!("{label}: {}", gr.guides);
+
+        // Stage 3: detailed routing guided by the GR solution, with the
+        // fine-grid track count matched to the GR capacity.
+        let dr = DetailedRouter::new(DrConfig {
+            tracks_per_gcell: design.capacity().round() as u8,
+            ..DrConfig::default()
+        });
+        let outcome = dr.route(&design, &gr.routes);
+        println!("{label}: detailed routing {outcome}\n");
+    }
+    Ok(())
+}

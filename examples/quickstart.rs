@@ -1,0 +1,34 @@
+//! Quickstart: route a small synthetic design with FastGR_L and print the
+//! solution quality and stage timings.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fastgr::core::{Router, RouterConfig};
+use fastgr::design::Generator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16x16, 5-layer design with 64 nets. Same seed, same design.
+    let design = Generator::tiny(42).generate();
+    println!("{design}");
+
+    // FastGR_L: GPU-accelerated L-shape pattern routing + task-graph RRR.
+    let outcome = Router::new(RouterConfig::fastgr_l()).run(&design)?;
+
+    println!("routed {} nets", outcome.routes.len());
+    println!("quality: {}", outcome.metrics);
+    println!("timings: {}", outcome.timings);
+    println!("pattern batches: {}", outcome.pattern_batches);
+    println!("congestion: {}", outcome.report);
+    if outcome.nets_ripped.is_empty() {
+        println!("no rip-up and reroute was needed");
+    } else {
+        println!("nets ripped per iteration: {:?}", outcome.nets_ripped);
+    }
+
+    // The guides are what a detailed router consumes.
+    println!("{}", outcome.guides);
+    assert!(outcome.guides.covers_pins(&design));
+    Ok(())
+}

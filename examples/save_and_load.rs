@@ -1,0 +1,41 @@
+//! Persist a synthetic design to the plain-text interchange format, reload
+//! it, and verify the round trip — the workflow for sharing reproducible
+//! workloads between machines.
+//!
+//! ```text
+//! cargo run --release --example save_and_load
+//! ```
+
+use std::fs;
+
+use fastgr::core::{Router, RouterConfig};
+use fastgr::design::{Design, Generator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = Generator::tiny(2026).generate();
+
+    // Save.
+    let path = std::env::temp_dir().join("fastgr-demo.design");
+    fs::write(&path, design.to_text())?;
+    println!(
+        "wrote {} ({} bytes)",
+        path.display(),
+        fs::metadata(&path)?.len()
+    );
+
+    // Load and verify.
+    let text = fs::read_to_string(&path)?;
+    let loaded = Design::from_text(&text)?;
+    assert_eq!(design, loaded, "round trip must preserve the design");
+    println!("round trip OK: {loaded}");
+
+    // Routing the loaded copy gives the identical result (determinism).
+    let a = Router::new(RouterConfig::fastgr_l()).run(&design)?;
+    let b = Router::new(RouterConfig::fastgr_l()).run(&loaded)?;
+    assert_eq!(a.metrics.wirelength, b.metrics.wirelength);
+    assert_eq!(a.metrics.vias, b.metrics.vias);
+    println!("identical routing result after reload: {}", b.metrics);
+
+    fs::remove_file(&path)?;
+    Ok(())
+}

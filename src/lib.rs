@@ -1,0 +1,41 @@
+//! FastGR — global routing on CPU–GPU with a heterogeneous task graph
+//! scheduler, reproduced in Rust.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`grid`] — the 3-D G-cell grid graph, capacities and the cost model,
+//! * [`design`] — netlist model and the synthetic ICCAD2019-like suite,
+//! * [`steiner`] — Steiner tree construction and DFS intranet ordering,
+//! * [`gpu`] — the simulated CUDA-like device and min-plus flow kernels,
+//! * [`taskgraph`] — batch extraction, the task graph scheduler, executor,
+//! * [`maze`] — 3-D maze routing for rip-up-and-reroute,
+//! * [`core`] — the FastGR router itself (pattern stage + RRR + scoring),
+//! * [`dr`] — the Dr.CU-substitute detailed router used for evaluation,
+//! * [`viz`] — SVG rendering of routes and congestion maps,
+//! * [`assign`] — the classic 2-D + layer-assignment alternative flow.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fastgr::core::{Router, RouterConfig};
+//! use fastgr::design::Generator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny synthetic design (64 nets on a 16x16 grid with 5 layers).
+//! let design = Generator::tiny(42).generate();
+//! let outcome = Router::new(RouterConfig::fastgr_l()).run(&design)?;
+//! assert!(outcome.metrics.score() >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use fastgr_assign as assign;
+pub use fastgr_core as core;
+pub use fastgr_design as design;
+pub use fastgr_dr as dr;
+pub use fastgr_gpu as gpu;
+pub use fastgr_grid as grid;
+pub use fastgr_maze as maze;
+pub use fastgr_steiner as steiner;
+pub use fastgr_taskgraph as taskgraph;
+pub use fastgr_viz as viz;

@@ -1,0 +1,98 @@
+//! Integration and property tests of the 2-D + layer-assignment flow
+//! against the 3-D router on shared designs.
+
+use fastgr::assign::TwoDFlow;
+use fastgr::core::{LayerUsage, Router, RouterConfig};
+use fastgr::design::{Design, Generator, GeneratorParams};
+use fastgr::grid::CostParams;
+use proptest::prelude::*;
+
+fn run_two_d(design: &Design) -> (fastgr::grid::GridGraph, Vec<fastgr::grid::Route>) {
+    let mut graph = design.build_graph(CostParams::default()).expect("valid");
+    let routes = TwoDFlow::new().run(design, &mut graph).expect("assignable");
+    (graph, routes)
+}
+
+#[test]
+fn two_d_flow_routes_a_suite_benchmark() {
+    let design = fastgr::design::BenchmarkSpec::find("s18t5")
+        .expect("known")
+        .generate();
+    let (graph, routes) = run_two_d(&design);
+    assert_eq!(routes.len(), design.nets().len());
+    for (net, route) in design.nets().iter().zip(&routes) {
+        assert!(route.is_connected(), "net {} broken", net.name());
+    }
+    // Demand equals committed union geometry.
+    let wl: u64 = routes.iter().map(|r| r.wirelength()).sum();
+    assert_eq!(graph.report().total_wire_demand, wl as f64);
+}
+
+#[test]
+fn two_d_and_three_d_agree_on_wirelength_scale() {
+    // Both flows route L-shaped trees, so total wirelength must be close
+    // (layer choice cannot change 2-D geometry length by much).
+    let design = Generator::tiny(17).generate();
+    let (_, routes2d) = run_two_d(&design);
+    let mut config = RouterConfig::cugr();
+    config.rrr_iterations = 0;
+    let outcome3d = Router::new(config).run(&design).expect("routable");
+    let wl2 = routes2d.iter().map(|r| r.wirelength()).sum::<u64>() as f64;
+    let wl3 = outcome3d.metrics.wirelength as f64;
+    assert!((wl2 - wl3).abs() / wl3 < 0.05, "2d {wl2} vs 3d {wl3}");
+}
+
+#[test]
+fn layer_usage_respects_directions_for_both_flows() {
+    let design = Generator::tiny(23).generate();
+    let (_, routes2d) = run_two_d(&design);
+    let outcome3d = Router::new(RouterConfig::fastgr_l())
+        .run(&design)
+        .expect("ok");
+    for routes in [&routes2d, &outcome3d.routes] {
+        let usage = LayerUsage::from_routes(design.layers(), routes);
+        // Pin layer 0 never carries wire.
+        assert_eq!(usage.wirelength(0), 0);
+        for route in routes.iter() {
+            for s in route.segments() {
+                let horizontal = s.from.y == s.to.y;
+                // Layer direction convention: odd layers horizontal.
+                assert_eq!(s.layer % 2 == 1, horizontal, "segment {s} direction");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn two_d_flow_invariants_on_random_designs(seed in 0u64..2_000) {
+        let design = Generator::new(GeneratorParams {
+            name: format!("prop-{seed}"),
+            width: 20,
+            height: 20,
+            layers: 6,
+            num_nets: 120,
+            capacity: 3.0,
+            hotspots: 2,
+            hotspot_affinity: 0.4,
+            blockages: 1,
+            seed,
+        })
+        .generate();
+        let (graph, routes) = run_two_d(&design);
+        for (net, route) in design.nets().iter().zip(&routes) {
+            prop_assert!(route.is_connected());
+            let pins = net.distinct_positions();
+            if pins.len() > 1 {
+                let touched = route.touched_points();
+                for pin in pins {
+                    prop_assert!(touched.contains(&pin.on_layer(0)));
+                }
+            }
+        }
+        let wl: u64 = routes.iter().map(|r| r.wirelength()).sum();
+        prop_assert_eq!(graph.report().total_wire_demand, wl as f64);
+    }
+}

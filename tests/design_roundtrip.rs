@@ -1,0 +1,63 @@
+//! Property tests of the design interchange format and generator
+//! determinism across crates.
+
+use fastgr::design::{Design, Generator, GeneratorParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_generated_design_round_trips(
+        seed in 0u64..10_000,
+        nets in 1usize..200,
+        side in 8u16..48,
+        layers in 3u8..9,
+    ) {
+        let design = Generator::new(GeneratorParams {
+            name: format!("rt-{seed}"),
+            width: side,
+            height: side,
+            layers,
+            num_nets: nets,
+            seed,
+            ..GeneratorParams::default()
+        })
+        .generate();
+        let text = design.to_text();
+        let back = Design::from_text(&text).expect("own output must parse");
+        prop_assert_eq!(design, back);
+    }
+
+    #[test]
+    fn generation_is_stable_per_seed(seed in 0u64..10_000) {
+        let p = GeneratorParams { seed, num_nets: 64, ..GeneratorParams::default() };
+        let a = Generator::new(p.clone()).generate();
+        let b = Generator::new(p).generate();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn suite_designs_round_trip() {
+    for spec in fastgr::design::suite().into_iter().take(2) {
+        let design = spec.generate();
+        let back = Design::from_text(&design.to_text()).expect("parses");
+        assert_eq!(design, back, "{} did not round trip", spec.name);
+    }
+}
+
+#[test]
+fn corrupted_text_is_rejected_not_panicking() {
+    let design = Generator::tiny(3).generate();
+    let text = design.to_text();
+    // Mutate every line in turn into garbage; the parser must return Err
+    // (never panic) for each corruption.
+    let lines: Vec<&str> = text.lines().collect();
+    for i in 0..lines.len().min(40) {
+        let mut corrupted: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        corrupted[i] = "garbage tokens here".to_string();
+        let joined = corrupted.join("\n");
+        let _ = Design::from_text(&joined); // must not panic
+    }
+}

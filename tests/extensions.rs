@@ -1,0 +1,123 @@
+//! Integration tests of the beyond-the-paper extensions: negotiated
+//! congestion, congestion-aware planning, and the CPU-parallel engine.
+
+use fastgr::core::{LayerUsage, PatternEngine, Router, RouterConfig};
+use fastgr::design::{Generator, GeneratorParams};
+
+fn congested_design(seed: u64) -> fastgr::design::Design {
+    Generator::new(GeneratorParams {
+        name: format!("ext-{seed}"),
+        width: 24,
+        height: 24,
+        layers: 6,
+        num_nets: 340,
+        capacity: 3.0,
+        hotspots: 3,
+        hotspot_affinity: 0.55,
+        blockages: 2,
+        seed,
+    })
+    .generate()
+}
+
+#[test]
+fn history_cost_reduces_shorts_with_extra_iterations() {
+    let design = congested_design(41);
+    let plain = Router::new(RouterConfig::fastgr_l()).run(&design).expect("ok");
+    let mut with_history = RouterConfig::fastgr_l();
+    with_history.history_increment = 4.0;
+    with_history.rrr_iterations = 8;
+    let negotiated = Router::new(with_history).run(&design).expect("ok");
+    assert!(
+        negotiated.metrics.shorts <= plain.metrics.shorts,
+        "negotiation must not worsen shorts: {} vs {}",
+        negotiated.metrics.shorts,
+        plain.metrics.shorts
+    );
+}
+
+#[test]
+fn history_cost_preserves_invariants() {
+    let design = congested_design(42);
+    let mut config = RouterConfig::fastgr_l();
+    config.history_increment = 2.0;
+    let outcome = Router::new(config).run(&design).expect("ok");
+    for route in &outcome.routes {
+        assert!(route.is_connected());
+    }
+    // Shorts derive from demand vs capacity only — history must not leak
+    // into the congestion report.
+    let mut graph = design
+        .build_graph(fastgr::grid::CostParams::default())
+        .expect("valid");
+    for route in &outcome.routes {
+        graph.commit(route).expect("valid");
+    }
+    assert_eq!(graph.report().overflow, outcome.report.overflow);
+}
+
+#[test]
+fn congestion_aware_planning_routes_cleanly() {
+    let design = congested_design(43);
+    let mut config = RouterConfig::fastgr_l();
+    config.congestion_aware_planning = true;
+    let outcome = Router::new(config).run(&design).expect("ok");
+    assert!(outcome.guides.covers_pins(&design));
+    for (net, route) in design.nets().iter().zip(&outcome.routes) {
+        assert!(route.is_connected(), "net {} broken", net.name());
+    }
+    // Deterministic like every other mode.
+    let again = Router::new(config).run(&design).expect("ok");
+    assert_eq!(outcome.routes, again.routes);
+}
+
+#[test]
+fn parallel_cpu_engine_runs_through_the_router() {
+    let design = congested_design(44);
+    let mut config = RouterConfig::fastgr_l();
+    config.engine = PatternEngine::ParallelCpu { workers: 4 };
+    let outcome = Router::new(config).run(&design).expect("ok");
+    assert!(outcome.timings.pattern_gpu_seconds.is_none());
+    assert!(outcome.metrics.wirelength > 0);
+    for route in &outcome.routes {
+        assert!(route.is_connected());
+    }
+}
+
+#[test]
+fn layer_usage_of_a_routed_design_is_consistent() {
+    let design = congested_design(45);
+    let outcome = Router::new(RouterConfig::fastgr_h()).run(&design).expect("ok");
+    let usage = LayerUsage::from_routes(design.layers(), &outcome.routes);
+    assert_eq!(usage.total_wirelength(), outcome.metrics.wirelength);
+    assert_eq!(usage.total_vias(), outcome.metrics.vias);
+    assert_eq!(usage.wirelength(0), 0, "pin layer carries no wire");
+    // Pin access means the lowest boundary carries the most vias.
+    assert!(usage.vias_from(0) >= usage.vias_from(design.layers() - 2));
+}
+
+#[test]
+fn rudy_and_pattern_estimates_agree_on_hot_regions() {
+    let design = congested_design(46);
+    let rudy = fastgr::core::rudy_map(&design);
+    let estimate = fastgr::core::estimate_congestion(&design).expect("ok");
+    // Correlation check: the average RUDY density over the routed hot
+    // cells must exceed the global average (the estimators agree on where
+    // the action is).
+    let w = design.width() as usize;
+    let global_avg: f64 = rudy.iter().sum::<f64>() / rudy.len() as f64;
+    let hot: Vec<usize> = estimate
+        .heatmap
+        .iter()
+        .enumerate()
+        .filter(|(_, &u)| u > 0.9)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!hot.is_empty(), "expected some hot cells");
+    let hot_avg: f64 = hot.iter().map(|&i| rudy[i]).sum::<f64>() / hot.len() as f64;
+    assert!(
+        hot_avg > global_avg,
+        "hot-cell RUDY {hot_avg:.3} should exceed global {global_avg:.3}"
+    );
+    let _ = w;
+}
