@@ -111,13 +111,13 @@ impl LayerAssigner {
             // Close the chain at the parent junction's anchor.
             let mut best = f64::INFINITY;
             let mut best_l = 0usize;
-            for l in 1..layers {
-                if !cost[k - 1][l].is_finite() {
+            for (l, &c) in cost[k - 1].iter().enumerate().take(layers).skip(1) {
+                if !c.is_finite() {
                     continue;
                 }
                 let connect = anchor_connect_cost(graph, &anchors, junctions[k], l as u8);
-                if cost[k - 1][l] + connect < best {
-                    best = cost[k - 1][l] + connect;
+                if c + connect < best {
+                    best = c + connect;
                     best_l = l;
                 }
             }

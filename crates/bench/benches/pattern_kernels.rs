@@ -87,5 +87,50 @@ fn bench_multi_pin(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_selection, bench_multi_pin);
+fn bench_parallel_launch(c: &mut Criterion) {
+    // One simulated-device launch routing a conflict-free batch of 64
+    // nets, serial host execution vs the worker pool. The modelled device
+    // time is identical in both; only wall-clock differs.
+    use fastgr_gpu::{Device, DeviceConfig};
+
+    let g = graph(96, 10);
+    let trees: Vec<_> = (0..64u16)
+        .map(|i| {
+            let net = Net::new(
+                NetId(u32::from(i)),
+                "bench",
+                vec![
+                    Pin::new(Point2::new((i * 31) % 90 + 1, (i * 17) % 90 + 1), 0),
+                    Pin::new(Point2::new((i * 53) % 90 + 1, (i * 41) % 90 + 1), 0),
+                ],
+            );
+            SteinerBuilder::new().build(&net)
+        })
+        .collect();
+    let mut group = c.benchmark_group("device_launch");
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_batch64", workers),
+            &workers,
+            |b, &w| {
+                let dp = PatternDp::new(&g, PatternMode::HybridAll);
+                let mut device = Device::new(DeviceConfig::rtx3090_like().with_host_workers(w));
+                b.iter(|| {
+                    device.launch("pattern", trees.len(), |t| {
+                        black_box(dp.route_net(&trees[t]).expect("routable")).profile
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_selection,
+    bench_multi_pin,
+    bench_parallel_launch
+);
 criterion_main!(benches);

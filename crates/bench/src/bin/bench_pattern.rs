@@ -1,0 +1,166 @@
+//! Serial-vs-parallel wall-clock of the pattern stage on the scaled
+//! synthetic suite (the worker-pool speed-up snapshot recorded in
+//! `BENCH_pattern.json`).
+//!
+//! ```text
+//! bench_pattern [--full] [--out PATH] [--workers N]
+//!
+//! --full:      run the whole 12-benchmark suite (default: 4 smallest)
+//! --out PATH:  where to write the JSON snapshot (default: BENCH_pattern.json)
+//! --workers N: parallel worker count (default: FASTGR_WORKERS / all cores)
+//! ```
+//!
+//! Each benchmark routes twice with the GPU-flow engine: once with one
+//! host worker (serial) and once with `N` workers. The routed geometry
+//! and the modelled device seconds must be identical — the runs differ
+//! only in host wall-clock — and the binary exits non-zero if they are
+//! not.
+
+use std::env;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use fastgr_core::{PatternEngine, PatternMode, PatternOutcome, PatternStage, SortingScheme};
+use fastgr_design::{suite, BenchmarkSpec};
+use fastgr_gpu::{DeviceConfig, HostPool};
+
+struct Row {
+    name: &'static str,
+    nets: u32,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    modeled_seconds: f64,
+}
+
+fn run_once(spec: &BenchmarkSpec, workers: usize) -> PatternOutcome {
+    let design = spec.generate();
+    let mut graph = design
+        .build_graph(fastgr_grid::CostParams::default())
+        .expect("suite designs build");
+    let stage = PatternStage {
+        mode: PatternMode::LShape,
+        engine: PatternEngine::GpuFlow(
+            DeviceConfig::rtx3090_like().with_host_workers(workers),
+        ),
+        sorting: SortingScheme::HpwlAscending,
+        steiner_passes: 4,
+        congestion_aware_planning: false,
+    };
+    stage.run(&design, &mut graph).expect("suite designs route")
+}
+
+fn main() -> ExitCode {
+    let mut full = false;
+    let mut out_path = String::from("BENCH_pattern.json");
+    let mut workers = 0usize;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path;
+            }
+            "--workers" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                workers = n;
+            }
+            other => {
+                eprintln!("usage: bench_pattern [--full] [--out PATH] [--workers N] (got {other})");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let workers = HostPool::resolve(workers);
+    if workers < 2 {
+        eprintln!("warning: only {workers} worker(s) resolved; speed-ups will be ~1x");
+    }
+
+    let mut specs = suite();
+    if !full {
+        specs.sort_by_key(|s| s.nets);
+        specs.truncate(4);
+    }
+
+    let mut rows = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let serial = run_once(spec, 1);
+        let parallel = run_once(spec, workers);
+        assert_eq!(
+            serial.routes, parallel.routes,
+            "{}: geometry diverged across worker counts",
+            spec.name
+        );
+        let ms = serial.modeled_gpu_seconds.expect("gpu engine models time");
+        let mp = parallel.modeled_gpu_seconds.expect("gpu engine models time");
+        assert_eq!(
+            ms.to_bits(),
+            mp.to_bits(),
+            "{}: modelled seconds diverged across worker counts",
+            spec.name
+        );
+        println!(
+            "{:8} {:6} nets  serial {:8.3}s  x{} {:8.3}s  speedup {:5.2}x  modelled {:.6}s",
+            spec.name,
+            spec.nets,
+            serial.host_seconds,
+            workers,
+            parallel.host_seconds,
+            serial.host_seconds / parallel.host_seconds,
+            ms,
+        );
+        rows.push(Row {
+            name: spec.name,
+            nets: spec.nets,
+            serial_seconds: serial.host_seconds,
+            parallel_seconds: parallel.host_seconds,
+            modeled_seconds: ms,
+        });
+    }
+
+    let geomean = (rows
+        .iter()
+        .map(|r| (r.serial_seconds / r.parallel_seconds).ln())
+        .sum::<f64>()
+        / rows.len() as f64)
+        .exp();
+    println!("geomean speedup with {workers} workers: {geomean:.2}x");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"suite\": \"{}\",", if full { "full" } else { "quick" });
+    let _ = writeln!(json, "  \"mode\": \"LShape\",");
+    let _ = writeln!(json, "  \"parallel_workers\": {workers},");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"geomean_speedup\": {geomean:.4},");
+    let _ = writeln!(json, "  \"benchmarks\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"nets\": {}, \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \"modeled_gpu_seconds\": {:.9}}}{}",
+            r.name,
+            r.nets,
+            r.serial_seconds,
+            r.parallel_seconds,
+            r.serial_seconds / r.parallel_seconds,
+            r.modeled_seconds,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -13,8 +13,22 @@
 //! the via stacks joining children (and the pin-layer access stacks, which
 //! this reproduction folds into the same interval formulation: a pin node
 //! forces its via stack to reach layer 0).
+//!
+//! # Memory discipline
+//!
+//! Pattern routing calls this DP once per net per batch, so its working
+//! memory is hoisted into a reusable [`DpScratch`]:
+//! [`PatternDp::route_net_into`] performs **zero heap allocation in steady
+//! state** — every table, flow buffer, and traversal stack lives in the
+//! scratch (or the recycled output [`Route`]) and only grows to the
+//! high-water mark of the nets routed through it. The owned-result
+//! [`PatternDp::route_net`] wrapper keeps one scratch per thread, so the
+//! only steady-state allocations left on that path are the geometry
+//! buffers of the `Route` it returns by value.
 
-use fastgr_gpu::flow::{chain_min_plus, merge_min, vec_mat_min_plus, Matrix};
+use std::cell::RefCell;
+
+use fastgr_gpu::flow::{merge_min_rows, vec_mat_min_plus_into, Matrix};
 use fastgr_gpu::BlockProfile;
 use fastgr_grid::{GridGraph, Point2, Route, Segment, Via};
 use fastgr_steiner::{RouteTree, TreeEdge};
@@ -50,6 +64,17 @@ pub struct NetDpResult {
     pub profile: BlockProfile,
 }
 
+/// Cost and device profile of one routed net — what
+/// [`PatternDp::route_net_into`] returns alongside the geometry it wrote
+/// into the caller's [`Route`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpSummary {
+    /// The DP cost of the winning solution under the current congestion.
+    pub cost: f64,
+    /// Simulated device flow profile of this net's block.
+    pub profile: BlockProfile,
+}
+
 /// Per-(edge, target-layer) backtracking record.
 #[derive(Debug, Clone, Copy)]
 struct EdgeChoice {
@@ -61,14 +86,115 @@ struct EdgeChoice {
     lb: u8,
 }
 
+const EDGE_CHOICE_EMPTY: EdgeChoice = EdgeChoice {
+    candidate: 0,
+    ls: 0,
+    lb: 0,
+};
+
 const CAND_PURE_VIA: u32 = u32::MAX;
 
-/// Chosen via-stack interval and child arrival layers at a node, per `ls`.
-#[derive(Debug, Clone, Default)]
-struct StackChoice {
-    lo: u8,
-    hi: u8,
-    child_layers: Vec<u8>,
+/// Reusable working memory for the pattern DP.
+///
+/// All tables are flat, layer-strided vectors sized per net (number of
+/// tree nodes × layer count); re-sizing only ever reuses capacity once the
+/// buffers have seen the largest net, so repeated
+/// [`PatternDp::route_net_into`] calls through one scratch allocate
+/// nothing. One scratch serves one thread at a time; the worker-pool
+/// engines keep one per thread.
+#[derive(Debug)]
+pub struct DpScratch {
+    /// Bottom-up edge order of the current tree.
+    edges: Vec<TreeEdge>,
+    /// DFS working stack for [`RouteTree::ordered_edges_into`].
+    dfs_stack: Vec<u32>,
+    /// `edge_cost[v * L + lt]`: DP cost of edge `v -> parent(v)` arriving
+    /// on layer `lt`.
+    edge_cost: Vec<f64>,
+    /// Backtracking record per `(edge, lt)` lane.
+    edge_choice: Vec<EdgeChoice>,
+    /// Winning via-stack interval per `(node, ls)` lane.
+    stack_lo: Vec<u8>,
+    stack_hi: Vec<u8>,
+    /// Start of each node's region inside `layer_arena`.
+    arena_offset: Vec<u32>,
+    /// Chosen child arrival layers: node `v` with `d` children owns the
+    /// region `[arena_offset[v] .. arena_offset[v] + d * L)`, laid out as
+    /// `ls * d + child_index`.
+    layer_arena: Vec<u8>,
+    /// Bottom-children cost `cbc(Ps, ls)` of the edge in flight.
+    cbc: Vec<f64>,
+    /// Child arrival layers of the interval currently being tried.
+    trial_layers: Vec<u8>,
+    /// Output lanes of the edge in flight (copied into `edge_cost` /
+    /// `edge_choice` once complete — the copy keeps borrows disjoint).
+    out_cost: Vec<f64>,
+    out_choice: Vec<EdgeChoice>,
+    /// Flow operands (Eqs. 5–7 / 11–14).
+    w1: Vec<f64>,
+    w2: Matrix,
+    w3: Matrix,
+    /// Chain intermediates: best source per bridge layer.
+    mid_values: Vec<f64>,
+    mid_argmin: Vec<usize>,
+    /// Per-candidate flow output lanes.
+    lane_values: Vec<f64>,
+    lane_argmin: Vec<usize>,
+    /// All candidates' lanes, flattened `candidate * L + lt`.
+    cand_values: Vec<f64>,
+    cand_src: Vec<u32>,
+    cand_mid: Vec<u32>,
+    /// Winning candidate per lane after the Eq. 10 merge.
+    merged_argmin: Vec<usize>,
+    /// Candidate bend-point pairs of the Z/hybrid flow.
+    pairs: Vec<(Point2, Point2)>,
+    /// Backtracking stack of `(edge, arrival layer)`.
+    bt_stack: Vec<(TreeEdge, u8)>,
+}
+
+impl DpScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            edges: Vec::new(),
+            dfs_stack: Vec::new(),
+            edge_cost: Vec::new(),
+            edge_choice: Vec::new(),
+            stack_lo: Vec::new(),
+            stack_hi: Vec::new(),
+            arena_offset: Vec::new(),
+            layer_arena: Vec::new(),
+            cbc: Vec::new(),
+            trial_layers: Vec::new(),
+            out_cost: Vec::new(),
+            out_choice: Vec::new(),
+            w1: Vec::new(),
+            w2: Matrix::filled(1, 1, 0.0),
+            w3: Matrix::filled(1, 1, 0.0),
+            mid_values: Vec::new(),
+            mid_argmin: Vec::new(),
+            lane_values: Vec::new(),
+            lane_argmin: Vec::new(),
+            cand_values: Vec::new(),
+            cand_src: Vec::new(),
+            cand_mid: Vec::new(),
+            merged_argmin: Vec::new(),
+            pairs: Vec::new(),
+            bt_stack: Vec::new(),
+        }
+    }
+}
+
+impl Default for DpScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing [`PatternDp::route_net`]; worker-pool
+    /// engines route many nets per thread, so the tables stay warm.
+    static ROUTE_NET_SCRATCH: RefCell<DpScratch> = RefCell::new(DpScratch::new());
 }
 
 /// The pattern-routing DP engine for one grid state.
@@ -116,42 +242,78 @@ impl<'g> PatternDp<'g> {
     /// Routes one net given its Steiner tree. Returns `None` when no
     /// finite-cost pattern exists (fewer than one routable layer per
     /// direction — cannot happen on the standard suite's grids).
+    ///
+    /// Thin wrapper over [`PatternDp::route_net_into`] with a per-thread
+    /// [`DpScratch`]; the returned [`Route`] is the only per-call heap
+    /// use.
     pub fn route_net(&self, tree: &RouteTree) -> Option<NetDpResult> {
+        ROUTE_NET_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let mut route = Route::new();
+            self.route_net_into(tree, &mut scratch, &mut route)
+                .map(|summary| NetDpResult {
+                    route,
+                    cost: summary.cost,
+                    profile: summary.profile,
+                })
+        })
+    }
+
+    /// Routes one net, writing the winning geometry into `out` (cleared
+    /// first) and drawing all working memory from `scratch`. In steady
+    /// state — once the scratch and `out` have grown to the largest net —
+    /// this performs **no heap allocation**.
+    ///
+    /// Returns `None` when no finite-cost pattern exists; `out` content is
+    /// unspecified in that case.
+    pub fn route_net_into(
+        &self,
+        tree: &RouteTree,
+        scratch: &mut DpScratch,
+        out: &mut Route,
+    ) -> Option<DpSummary> {
+        out.clear();
         let l = self.graph.num_layers() as usize;
-        let edges = tree.ordered_edges();
-        if edges.is_empty() {
+        tree.ordered_edges_into(&mut scratch.dfs_stack, &mut scratch.edges);
+        if scratch.edges.is_empty() {
             // Single-node net: no geometry needed.
-            return Some(NetDpResult {
-                route: Route::new(),
+            return Some(DpSummary {
                 cost: 0.0,
                 profile: BlockProfile::new(1, 1),
             });
         }
 
         let n_nodes = tree.node_count();
-        // Per-edge DP tables, indexed by the edge's child node.
-        let mut edge_cost: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
-        let mut edge_choice: Vec<Vec<EdgeChoice>> = vec![Vec::new(); n_nodes];
-        // Per-node bottom cost tables (indexed by node, then ls).
-        let mut stack_choice: Vec<Vec<StackChoice>> = vec![Vec::new(); n_nodes];
-        let mut profile = BlockProfile::new(1, 0);
+        scratch.edge_cost.clear();
+        scratch.edge_cost.resize(n_nodes * l, f64::INFINITY);
+        scratch.edge_choice.clear();
+        scratch.edge_choice.resize(n_nodes * l, EDGE_CHOICE_EMPTY);
+        scratch.stack_lo.clear();
+        scratch.stack_lo.resize(n_nodes * l, 0);
+        scratch.stack_hi.clear();
+        scratch.stack_hi.resize(n_nodes * l, 0);
+        scratch.arena_offset.clear();
+        let mut arena_len = 0u32;
+        for node in tree.nodes() {
+            scratch.arena_offset.push(arena_len);
+            arena_len += (node.children.len() * l) as u32;
+        }
+        scratch.layer_arena.clear();
+        scratch.layer_arena.resize(arena_len as usize, 0);
 
-        for &edge in &edges {
+        let mut profile = BlockProfile::new(1, 0);
+        for i in 0..scratch.edges.len() {
+            let edge = scratch.edges[i];
             let v = edge.child as usize;
             let ps = tree.node(edge.child).position;
             let pt = tree.node(edge.parent).position;
+            let deg = tree.node(edge.child).children.len();
 
             // Bottom-children cost of the child node (Eq. 2 + pin access).
-            let child_edges = tree.child_edges(edge);
-            let child_costs: Vec<&[f64]> = child_edges
-                .iter()
-                .map(|c| edge_cost[c.child as usize].as_slice())
-                .collect();
-            let (cbc, choices) = self.bottom_cost(ps, tree.node(edge.child).is_pin, &child_costs);
-            stack_choice[v] = choices;
+            self.bottom_cost_into(tree, v, scratch);
             profile = profile.then(BlockProfile::new(
                 l * l,
-                1 + (child_costs.len() + 1).next_power_of_two().trailing_zeros() as usize,
+                1 + (deg + 1).next_power_of_two().trailing_zeros() as usize,
             ));
 
             // Route the edge with the mode-selected pattern set.
@@ -162,56 +324,61 @@ impl<'g> PatternDp<'g> {
                 PatternMode::HybridAll => true,
                 PatternMode::Hybrid(sel) => sel.classify(hpwl) == NetClass::Medium,
             };
-            let (cost, choice, edge_profile) = if ps == pt {
-                self.pure_via(ps, &cbc)
+            let edge_profile = if ps == pt {
+                self.pure_via_into(ps, scratch)
             } else if use_hybrid {
-                self.z_or_hybrid(ps, pt, &cbc, matches!(self.mode, PatternMode::ZShape))
+                self.z_or_hybrid_into(ps, pt, matches!(self.mode, PatternMode::ZShape), scratch)
             } else {
-                self.l_shape(ps, pt, &cbc)
+                self.l_shape_into(ps, pt, scratch)
             };
             profile = profile.then(edge_profile);
-            edge_cost[v] = cost;
-            edge_choice[v] = choice;
+            scratch.edge_cost[v * l..(v + 1) * l].copy_from_slice(&scratch.out_cost);
+            scratch.edge_choice[v * l..(v + 1) * l].copy_from_slice(&scratch.out_choice);
         }
 
         // Final reduction at the root (Eq. 4 generalised to multi-child
         // roots): pick the via-stack interval covering the root pin.
         let root = tree.root();
-        let root_children: Vec<TreeEdge> = tree
-            .node(root)
-            .children
-            .iter()
-            .map(|&c| TreeEdge {
-                child: c,
-                parent: root,
-            })
-            .collect();
-        let root_costs: Vec<&[f64]> = root_children
-            .iter()
-            .map(|c| edge_cost[c.child as usize].as_slice())
-            .collect();
-        let root_pos = tree.node(root).position;
-        let (root_total, root_stack) =
-            self.root_cost(root_pos, tree.node(root).is_pin, &root_costs)?;
+        let (root_total, root_lo, root_hi) = self.root_cost_into(tree, scratch)?;
         profile = profile.then(BlockProfile::new(l * l, 2));
 
         // Back-track the geometry.
-        let mut route = Route::new();
-        emit_stack(&mut route, root_pos, &root_stack);
-        let mut stack = Vec::new();
-        for (i, ce) in root_children.iter().enumerate() {
-            stack.push((*ce, root_stack.child_layers[i]));
+        let root_pos = tree.node(root).position;
+        if root_hi > root_lo {
+            out.push_via(Via::new(root_pos, root_lo, root_hi));
         }
-        while let Some((edge, lt)) = stack.pop() {
+        scratch.bt_stack.clear();
+        let root_arena = scratch.arena_offset[root as usize] as usize;
+        for (i, &c) in tree.node(root).children.iter().enumerate() {
+            scratch.bt_stack.push((
+                TreeEdge {
+                    child: c,
+                    parent: root,
+                },
+                scratch.layer_arena[root_arena + i],
+            ));
+        }
+        while let Some((edge, lt)) = scratch.bt_stack.pop() {
             let v = edge.child as usize;
-            let choice = edge_choice[v][lt as usize];
+            let choice = scratch.edge_choice[v * l + lt as usize];
             let ps = tree.node(edge.child).position;
             let pt = tree.node(edge.parent).position;
-            self.emit_edge(&mut route, ps, pt, lt, choice);
-            let node_stack = &stack_choice[v][choice.ls as usize];
-            emit_stack(&mut route, ps, node_stack);
-            for (i, ce) in tree.child_edges(edge).iter().enumerate() {
-                stack.push((*ce, node_stack.child_layers[i]));
+            self.emit_edge(out, ps, pt, lt, choice);
+            let ls = choice.ls as usize;
+            let (lo, hi) = (scratch.stack_lo[v * l + ls], scratch.stack_hi[v * l + ls]);
+            if hi > lo {
+                out.push_via(Via::new(ps, lo, hi));
+            }
+            let children = &tree.node(edge.child).children;
+            let base = scratch.arena_offset[v] as usize + ls * children.len();
+            for (i, &c) in children.iter().enumerate() {
+                scratch.bt_stack.push((
+                    TreeEdge {
+                        child: c,
+                        parent: edge.child,
+                    },
+                    scratch.layer_arena[base + i],
+                ));
             }
         }
         // Canonicalise: tree legs may overlap (two children sharing a
@@ -219,11 +386,9 @@ impl<'g> PatternDp<'g> {
         // committed on the union. The DP cost keeps counting legs
         // independently (that is the objective the kernels optimise), so
         // `cost` is an upper bound on the geometry's cost.
-        route.normalize();
-        debug_assert!(route.is_connected(), "pattern route must be connected");
+        out.normalize();
 
-        Some(NetDpResult {
-            route,
+        Some(DpSummary {
             cost: root_total,
             profile,
         })
@@ -232,131 +397,126 @@ impl<'g> PatternDp<'g> {
     /// Bottom-children cost `cbc(Ps, ls)` (Eq. 2) with pin access folded in:
     /// for every source layer `ls`, choose the via-stack interval
     /// `[lo, hi] ∋ ls` (with `lo = 0` forced at pins) minimising stack cost
-    /// plus each child's best arrival layer inside the interval.
-    fn bottom_cost(
-        &self,
-        pos: Point2,
-        is_pin: bool,
-        children: &[&[f64]],
-    ) -> (Vec<f64>, Vec<StackChoice>) {
+    /// plus each child's best arrival layer inside the interval. Results
+    /// land in `scratch.cbc` / `stack_lo` / `stack_hi` / `layer_arena`.
+    fn bottom_cost_into(&self, tree: &RouteTree, v: usize, scratch: &mut DpScratch) {
         let l = self.graph.num_layers() as usize;
-        let mut cbc = vec![f64::INFINITY; l];
-        let mut choices = vec![StackChoice::default(); l];
+        let node = tree.node(v as u32);
+        let (pos, is_pin) = (node.position, node.is_pin);
+        let children = &node.children;
+        let deg = children.len();
+        scratch.cbc.clear();
+        scratch.cbc.resize(l, f64::INFINITY);
+        scratch.trial_layers.clear();
+        scratch.trial_layers.resize(deg, 0);
+        let arena = scratch.arena_offset[v] as usize;
         for ls in 1..l {
-            let lo_candidates: Vec<u8> = if is_pin {
-                vec![0]
-            } else {
-                (1..=ls as u8).collect()
-            };
-            for lo in lo_candidates {
+            let (lo_first, lo_last) = if is_pin { (0u8, 0u8) } else { (1u8, ls as u8) };
+            for lo in lo_first..=lo_last {
                 for hi in ls as u8..l as u8 {
                     let mut total = self.graph.via_stack_cost(pos, lo, hi);
                     if !total.is_finite() {
                         continue;
                     }
-                    let mut layers = Vec::with_capacity(children.len());
-                    for child in children {
+                    for (ci, &c) in children.iter().enumerate() {
+                        let costs = &scratch.edge_cost[c as usize * l..(c as usize + 1) * l];
                         let from = lo.max(1) as usize;
-                        let (best_l, best_c) =
-                            ((from)..=(hi as usize)).map(|cl| (cl, child[cl])).fold(
-                                (from, f64::INFINITY),
-                                |acc, (cl, c)| {
-                                    if c < acc.1 {
-                                        (cl, c)
-                                    } else {
-                                        acc
-                                    }
-                                },
-                            );
+                        let (mut best_l, mut best_c) = (from, f64::INFINITY);
+                        for (cl, &cost) in costs.iter().enumerate().take(hi as usize + 1).skip(from)
+                        {
+                            if cost < best_c {
+                                best_c = cost;
+                                best_l = cl;
+                            }
+                        }
                         total += best_c;
-                        layers.push(best_l as u8);
+                        scratch.trial_layers[ci] = best_l as u8;
                     }
-                    if total < cbc[ls] {
-                        cbc[ls] = total;
-                        choices[ls] = StackChoice {
-                            lo,
-                            hi,
-                            child_layers: layers,
-                        };
+                    if total < scratch.cbc[ls] {
+                        scratch.cbc[ls] = total;
+                        scratch.stack_lo[v * l + ls] = lo;
+                        scratch.stack_hi[v * l + ls] = hi;
+                        scratch.layer_arena[arena + ls * deg..arena + (ls + 1) * deg]
+                            .copy_from_slice(&scratch.trial_layers);
                     }
                 }
             }
         }
-        (cbc, choices)
     }
 
-    /// Root reduction: like [`Self::bottom_cost`] but with no outgoing edge,
-    /// minimising over the interval alone. Returns `None` when infeasible.
-    fn root_cost(
-        &self,
-        pos: Point2,
-        is_pin: bool,
-        children: &[&[f64]],
-    ) -> Option<(f64, StackChoice)> {
+    /// Root reduction: like [`Self::bottom_cost_into`] but with no outgoing
+    /// edge, minimising over the interval alone. The winning child arrival
+    /// layers land in the root's `ls = 0` arena lane; returns
+    /// `(total, lo, hi)` or `None` when infeasible.
+    fn root_cost_into(&self, tree: &RouteTree, scratch: &mut DpScratch) -> Option<(f64, u8, u8)> {
         let l = self.graph.num_layers() as usize;
+        let root = tree.root();
+        let node = tree.node(root);
+        let (pos, is_pin) = (node.position, node.is_pin);
+        let children = &node.children;
+        let deg = children.len();
+        scratch.trial_layers.clear();
+        scratch.trial_layers.resize(deg, 0);
+        let arena = scratch.arena_offset[root as usize] as usize;
         let mut best = f64::INFINITY;
-        let mut best_choice = StackChoice::default();
-        let lo_candidates: Vec<u8> = if is_pin {
-            vec![0]
+        let (mut best_lo, mut best_hi) = (0u8, 0u8);
+        let (lo_first, lo_last) = if is_pin {
+            (0u8, 0u8)
         } else {
-            (1..l as u8).collect()
+            (1u8, l as u8 - 1)
         };
-        for lo in lo_candidates {
+        for lo in lo_first..=lo_last {
             for hi in lo.max(1)..l as u8 {
-                if hi < lo {
-                    continue;
-                }
                 let mut total = self.graph.via_stack_cost(pos, lo, hi);
                 if !total.is_finite() {
                     continue;
                 }
-                let mut layers = Vec::with_capacity(children.len());
-                for child in children {
+                for (ci, &c) in children.iter().enumerate() {
+                    let costs = &scratch.edge_cost[c as usize * l..(c as usize + 1) * l];
                     let from = lo.max(1) as usize;
-                    let (best_l, best_c) = (from..=(hi as usize)).map(|cl| (cl, child[cl])).fold(
-                        (from, f64::INFINITY),
-                        |acc, (cl, c)| {
-                            if c < acc.1 {
-                                (cl, c)
-                            } else {
-                                acc
-                            }
-                        },
-                    );
+                    let (mut best_l, mut best_c) = (from, f64::INFINITY);
+                    for (cl, &cost) in costs.iter().enumerate().take(hi as usize + 1).skip(from) {
+                        if cost < best_c {
+                            best_c = cost;
+                            best_l = cl;
+                        }
+                    }
                     total += best_c;
-                    layers.push(best_l as u8);
+                    scratch.trial_layers[ci] = best_l as u8;
                 }
                 if total < best {
                     best = total;
-                    best_choice = StackChoice {
-                        lo,
-                        hi,
-                        child_layers: layers,
-                    };
+                    best_lo = lo;
+                    best_hi = hi;
+                    scratch.layer_arena[arena..arena + deg]
+                        .copy_from_slice(&scratch.trial_layers);
                 }
             }
         }
-        best.is_finite().then_some((best, best_choice))
+        best.is_finite().then_some((best, best_lo, best_hi))
     }
 
     /// Degenerate edge whose endpoints share a G-cell: a pure via stack.
-    fn pure_via(&self, pos: Point2, cbc: &[f64]) -> (Vec<f64>, Vec<EdgeChoice>, BlockProfile) {
-        let l = cbc.len();
-        let mut cost = vec![f64::INFINITY; l];
-        let mut choice = vec![
+    /// Writes `scratch.out_cost` / `out_choice`.
+    fn pure_via_into(&self, pos: Point2, scratch: &mut DpScratch) -> BlockProfile {
+        let l = scratch.cbc.len();
+        scratch.out_cost.clear();
+        scratch.out_cost.resize(l, f64::INFINITY);
+        scratch.out_choice.clear();
+        scratch.out_choice.resize(
+            l,
             EdgeChoice {
                 candidate: CAND_PURE_VIA,
                 ls: 0,
-                lb: 0
-            };
-            l
-        ];
+                lb: 0,
+            },
+        );
         for lt in 1..l {
-            for (ls, &bottom) in cbc.iter().enumerate().skip(1) {
+            for (ls, &bottom) in scratch.cbc.iter().enumerate().skip(1) {
                 let c = bottom + self.graph.via_stack_cost(pos, ls as u8, lt as u8);
-                if c < cost[lt] {
-                    cost[lt] = c;
-                    choice[lt] = EdgeChoice {
+                if c < scratch.out_cost[lt] {
+                    scratch.out_cost[lt] = c;
+                    scratch.out_choice[lt] = EdgeChoice {
                         candidate: CAND_PURE_VIA,
                         ls: ls as u8,
                         lb: 0,
@@ -364,141 +524,189 @@ impl<'g> PatternDp<'g> {
                 }
             }
         }
-        (cost, choice, BlockProfile::new(l * l, 2))
+        BlockProfile::new(l * l, 2)
     }
 
     /// The GPU-friendly 3-D L-shape flow (Eqs. 5–7, Fig. 8): two bend
     /// candidates, each an `L x L` min-plus product, merged per target
-    /// layer.
-    fn l_shape(
-        &self,
-        ps: Point2,
-        pt: Point2,
-        cbc: &[f64],
-    ) -> (Vec<f64>, Vec<EdgeChoice>, BlockProfile) {
-        let l = cbc.len();
+    /// layer. Writes `scratch.out_cost` / `out_choice`.
+    fn l_shape_into(&self, ps: Point2, pt: Point2, scratch: &mut DpScratch) -> BlockProfile {
+        let l = scratch.cbc.len();
         let bends = [Point2::new(pt.x, ps.y), Point2::new(ps.x, pt.y)];
-        let mut candidate_values: Vec<Vec<f64>> = Vec::with_capacity(2);
-        let mut candidate_args: Vec<Vec<usize>> = Vec::with_capacity(2);
-        for bend in bends {
+        scratch.cand_values.clear();
+        scratch.cand_values.resize(2 * l, f64::INFINITY);
+        scratch.cand_src.clear();
+        scratch.cand_src.resize(2 * l, 0);
+        for (ci, &bend) in bends.iter().enumerate() {
             // w1[ls] = cbc(Ps, ls) + cw(Ps, B, ls)            (Eq. 5)
-            let w1: Vec<f64> = cbc
-                .iter()
-                .enumerate()
-                .map(|(ls, &c)| c + self.graph.wire_run_cost(ls as u8, ps, bend))
-                .collect();
+            let (w1, cbc) = (&mut scratch.w1, &scratch.cbc);
+            w1.clear();
+            w1.extend(
+                cbc.iter()
+                    .enumerate()
+                    .map(|(ls, &c)| c + self.graph.wire_run_cost(ls as u8, ps, bend)),
+            );
             // w2[ls][lt] = cv(B, ls, lt) + cw(B, T, lt)       (Eq. 6)
-            let mut w2 = Matrix::filled(l, l, f64::INFINITY);
+            scratch.w2.reset(l, l, f64::INFINITY);
             for ls in 0..l {
                 for lt in 1..l {
                     let via = self.graph.via_stack_cost(bend, ls as u8, lt as u8);
                     let wire = self.graph.wire_run_cost(lt as u8, bend, pt);
-                    w2[(ls, lt)] = via + wire;
+                    scratch.w2[(ls, lt)] = via + wire;
                 }
             }
             // c*(lt) = min_ls (w1[ls] + w2[ls][lt])           (Eq. 7)
-            let r = vec_mat_min_plus(&w1, &w2);
-            candidate_values.push(r.values);
-            candidate_args.push(r.argmin);
+            vec_mat_min_plus_into(
+                &scratch.w1,
+                &scratch.w2,
+                &mut scratch.lane_values,
+                &mut scratch.lane_argmin,
+            );
+            scratch.cand_values[ci * l..(ci + 1) * l].copy_from_slice(&scratch.lane_values);
+            for (t, &src) in scratch.lane_argmin.iter().enumerate() {
+                scratch.cand_src[ci * l + t] = src as u32;
+            }
         }
-        let merged = merge_min(&candidate_values);
-        let choice: Vec<EdgeChoice> = (0..l)
-            .map(|lt| {
-                let cand = merged.argmin[lt];
-                EdgeChoice {
-                    candidate: cand as u32,
-                    ls: candidate_args[cand][lt] as u8,
-                    lb: 0,
-                }
-            })
-            .collect();
+        merge_min_rows(
+            &scratch.cand_values,
+            l,
+            &mut scratch.out_cost,
+            &mut scratch.merged_argmin,
+        );
+        let (out_choice, merged_argmin, cand_src) = (
+            &mut scratch.out_choice,
+            &scratch.merged_argmin,
+            &scratch.cand_src,
+        );
+        out_choice.clear();
+        out_choice.extend((0..l).map(|lt| {
+            let cand = merged_argmin[lt];
+            EdgeChoice {
+                candidate: cand as u32,
+                ls: cand_src[cand * l + lt] as u8,
+                lb: 0,
+            }
+        }));
         // Flow: build stage + reduce over ls + merge over 2 candidates.
         let depth = 2 + (l.next_power_of_two().trailing_zeros() as usize) + 1;
-        (merged.values, choice, BlockProfile::new(2 * l * l, depth))
+        BlockProfile::new(2 * l * l, depth)
     }
 
     /// The GPU-friendly 3-D Z-shape / hybrid flow (Eqs. 11–14, Figs. 9–10):
     /// one chained min-plus flow per candidate bend-point pair, merged per
     /// Eq. 10. With `z_only` the two degenerate L candidates are excluded
     /// (`M + N - 2` candidates, Section III-E); otherwise all `M + N`
-    /// hybrid candidates are used (Section III-F).
-    fn z_or_hybrid(
+    /// hybrid candidates are used (Section III-F). Writes
+    /// `scratch.out_cost` / `out_choice`.
+    fn z_or_hybrid_into(
         &self,
         ps: Point2,
         pt: Point2,
-        cbc: &[f64],
         z_only: bool,
-    ) -> (Vec<f64>, Vec<EdgeChoice>, BlockProfile) {
-        let l = cbc.len();
+        scratch: &mut DpScratch,
+    ) -> BlockProfile {
+        let l = scratch.cbc.len();
         let (x0, x1) = (ps.x.min(pt.x), ps.x.max(pt.x));
         let (y0, y1) = (ps.y.min(pt.y), ps.y.max(pt.y));
 
         // Candidate bend pairs: HVH over every column, VHV over every row.
         // `z_only` drops the pairs whose target bend coincides with Pt.
-        let mut pairs: Vec<(Point2, Point2)> = Vec::new();
+        scratch.pairs.clear();
         for mx in x0..=x1 {
             if z_only && mx == pt.x {
                 continue;
             }
-            pairs.push((Point2::new(mx, ps.y), Point2::new(mx, pt.y)));
+            scratch
+                .pairs
+                .push((Point2::new(mx, ps.y), Point2::new(mx, pt.y)));
         }
         for my in y0..=y1 {
             if z_only && my == pt.y {
                 continue;
             }
-            pairs.push((Point2::new(ps.x, my), Point2::new(pt.x, my)));
+            scratch
+                .pairs
+                .push((Point2::new(ps.x, my), Point2::new(pt.x, my)));
         }
-        debug_assert!(!pairs.is_empty());
+        let n_pairs = scratch.pairs.len();
+        debug_assert!(n_pairs > 0);
 
-        let mut candidate_values: Vec<Vec<f64>> = Vec::with_capacity(pairs.len());
-        let mut candidate_src: Vec<Vec<usize>> = Vec::with_capacity(pairs.len());
-        let mut candidate_mid: Vec<Vec<usize>> = Vec::with_capacity(pairs.len());
-        for &(bs, bt) in &pairs {
+        scratch.cand_values.clear();
+        scratch.cand_values.resize(n_pairs * l, f64::INFINITY);
+        scratch.cand_src.clear();
+        scratch.cand_src.resize(n_pairs * l, 0);
+        scratch.cand_mid.clear();
+        scratch.cand_mid.resize(n_pairs * l, 0);
+        for ci in 0..n_pairs {
+            let (bs, bt) = scratch.pairs[ci];
             // w1[ls] = cbc + cw(Ps, Bs, ls)                   (Eq. 11)
-            let w1: Vec<f64> = cbc
-                .iter()
-                .enumerate()
-                .map(|(ls, &c)| c + self.graph.wire_run_cost(ls as u8, ps, bs))
-                .collect();
+            let (w1, cbc) = (&mut scratch.w1, &scratch.cbc);
+            w1.clear();
+            w1.extend(
+                cbc.iter()
+                    .enumerate()
+                    .map(|(ls, &c)| c + self.graph.wire_run_cost(ls as u8, ps, bs)),
+            );
             // w2[ls][lb] = cv(Bs, ls, lb) + cw(Bs, Bt, lb)    (Eq. 12)
-            let mut w2 = Matrix::filled(l, l, f64::INFINITY);
+            scratch.w2.reset(l, l, f64::INFINITY);
             // w3[lb][lt] = cv(Bt, lb, lt) + cw(Bt, T, lt)     (Eq. 13)
-            let mut w3 = Matrix::filled(l, l, f64::INFINITY);
+            scratch.w3.reset(l, l, f64::INFINITY);
             for a in 0..l {
                 for b in 1..l {
-                    w2[(a, b)] = self.graph.via_stack_cost(bs, a as u8, b as u8)
+                    scratch.w2[(a, b)] = self.graph.via_stack_cost(bs, a as u8, b as u8)
                         + self.graph.wire_run_cost(b as u8, bs, bt);
-                    w3[(a, b)] = self.graph.via_stack_cost(bt, a as u8, b as u8)
+                    scratch.w3[(a, b)] = self.graph.via_stack_cost(bt, a as u8, b as u8)
                         + self.graph.wire_run_cost(b as u8, bt, pt);
                 }
             }
-            // c*(i)(lt) = min_{ls, lb} (w1 + w2 + w3)          (Eq. 14)
-            let r = chain_min_plus(&w1, &w2, &w3);
-            candidate_values.push(r.values);
-            candidate_src.push(r.arg_src);
-            candidate_mid.push(r.arg_mid);
+            // c*(i)(lt) = min_{ls, lb} (w1 + w2 + w3)          (Eq. 14):
+            // stage 1 reduces sources per bridge, stage 2 bridges per
+            // target — together the chain min-plus of `chain_min_plus`.
+            vec_mat_min_plus_into(
+                &scratch.w1,
+                &scratch.w2,
+                &mut scratch.mid_values,
+                &mut scratch.mid_argmin,
+            );
+            vec_mat_min_plus_into(
+                &scratch.mid_values,
+                &scratch.w3,
+                &mut scratch.lane_values,
+                &mut scratch.lane_argmin,
+            );
+            scratch.cand_values[ci * l..(ci + 1) * l].copy_from_slice(&scratch.lane_values);
+            for (t, &mid) in scratch.lane_argmin.iter().enumerate() {
+                scratch.cand_mid[ci * l + t] = mid as u32;
+                scratch.cand_src[ci * l + t] = scratch.mid_argmin[mid] as u32;
+            }
         }
 
         // Merge step over all candidates (Eq. 10).
-        let merged = merge_min(&candidate_values);
-        let choice: Vec<EdgeChoice> = (0..l)
-            .map(|lt| {
-                let cand = merged.argmin[lt];
-                EdgeChoice {
-                    candidate: cand as u32,
-                    ls: candidate_src[cand][lt] as u8,
-                    lb: candidate_mid[cand][lt] as u8,
-                }
-            })
-            .collect();
+        merge_min_rows(
+            &scratch.cand_values,
+            l,
+            &mut scratch.out_cost,
+            &mut scratch.merged_argmin,
+        );
+        let (out_choice, merged_argmin, cand_src, cand_mid) = (
+            &mut scratch.out_choice,
+            &scratch.merged_argmin,
+            &scratch.cand_src,
+            &scratch.cand_mid,
+        );
+        out_choice.clear();
+        out_choice.extend((0..l).map(|lt| {
+            let cand = merged_argmin[lt];
+            EdgeChoice {
+                candidate: cand as u32,
+                ls: cand_src[cand * l + lt] as u8,
+                lb: cand_mid[cand * l + lt] as u8,
+            }
+        }));
         let depth = 3
             + 2 * (l.next_power_of_two().trailing_zeros() as usize)
-            + (pairs.len().next_power_of_two().trailing_zeros() as usize);
-        (
-            merged.values,
-            choice,
-            BlockProfile::new(pairs.len() * l * l, depth),
-        )
+            + (n_pairs.next_power_of_two().trailing_zeros() as usize);
+        BlockProfile::new(n_pairs * l * l, depth)
     }
 
     /// Emits the wire/via geometry of one routed edge choice.
@@ -549,7 +757,7 @@ impl<'g> PatternDp<'g> {
     }
 
     /// Reconstructs the candidate bend pair for a hybrid/Z candidate index
-    /// (must mirror the enumeration order of [`Self::z_or_hybrid`]).
+    /// (must mirror the enumeration order of [`Self::z_or_hybrid_into`]).
     fn hybrid_pair(&self, ps: Point2, pt: Point2, index: usize) -> (Point2, Point2) {
         let z_only = matches!(self.mode, PatternMode::ZShape);
         let (x0, x1) = (ps.x.min(pt.x), ps.x.max(pt.x));
@@ -574,13 +782,6 @@ impl<'g> PatternDp<'g> {
             i += 1;
         }
         unreachable!("candidate index {index} out of range");
-    }
-}
-
-/// Emits the via stack of a node's interval choice.
-fn emit_stack(route: &mut Route, pos: Point2, choice: &StackChoice) {
-    if choice.hi > choice.lo {
-        route.push_via(Via::new(pos, choice.lo, choice.hi));
     }
 }
 
@@ -784,6 +985,42 @@ mod tests {
         ] {
             let r = route_with(&g, mode, &[(2, 5), (9, 5)]);
             assert!(r.route.is_connected(), "{mode:?} failed on straight net");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_nets_matches_fresh_runs() {
+        // One shared scratch and one recycled Route, driven through nets
+        // of very different shapes (growing AND shrinking tables), must
+        // reproduce what fresh per-call state computes.
+        let g = graph(32, 32, 6);
+        let mut scratch = DpScratch::new();
+        let mut recycled = Route::new();
+        let netlists: Vec<Vec<(u16, u16)>> = vec![
+            vec![(2, 2), (28, 4), (15, 29), (7, 18), (22, 22)],
+            vec![(1, 1), (9, 9)],
+            vec![(5, 5)],
+            vec![(0, 0), (31, 31), (0, 31), (31, 0)],
+            vec![(3, 7), (3, 7), (4, 7)],
+        ];
+        for mode in [
+            PatternMode::LShape,
+            PatternMode::HybridAll,
+            PatternMode::ZShape,
+        ] {
+            let dp = PatternDp::new(&g, mode);
+            for pts in &netlists {
+                let tree = SteinerBuilder::new().build(&net_of(pts));
+                let shared = dp
+                    .route_net_into(&tree, &mut scratch, &mut recycled)
+                    .expect("routable");
+                let fresh = dp
+                    .route_net_into(&tree, &mut DpScratch::new(), &mut Route::new())
+                    .expect("routable");
+                assert_eq!(shared, fresh, "{mode:?} {pts:?}: summaries diverge");
+                let fresh_route = dp.route_net(&tree).expect("routable").route;
+                assert_eq!(recycled, fresh_route, "{mode:?} {pts:?}: routes diverge");
+            }
         }
     }
 

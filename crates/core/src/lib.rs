@@ -41,7 +41,7 @@ mod rrr;
 mod selection;
 
 pub use analysis::{estimate_congestion, rudy_map, CongestionEstimate};
-pub use dp::{NetDpResult, PatternDp, PatternMode};
+pub use dp::{DpScratch, DpSummary, NetDpResult, PatternDp, PatternMode};
 pub use error::RouteError;
 pub use guides::{GuideBox, RouteGuides};
 pub use metrics::{LayerUsage, QualityMetrics, ScoreWeights};

@@ -4,11 +4,18 @@
 //! host; each conflict-free batch of multi-pin nets then becomes one kernel
 //! launch with one block per net. The baseline engine instead routes nets
 //! one by one on the CPU, which is what CUGR does.
+//!
+//! Parallel execution is deterministic by construction: every concurrent
+//! phase (Steiner planning, block execution) writes to index-disjoint
+//! slots ([`fastgr_gpu::SyncSlots`]) that are read back in index order, so
+//! the routed geometry — and the modelled device time — are byte-identical
+//! for every worker count.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use fastgr_design::Design;
-use fastgr_gpu::{Device, DeviceConfig};
+use fastgr_gpu::{Device, DeviceConfig, HostPool, SyncSlots};
 use fastgr_grid::{GridGraph, Rect, Route};
 use fastgr_steiner::{RouteTree, SteinerBuilder};
 use fastgr_taskgraph::{extract_batches, ConflictGraph};
@@ -123,6 +130,14 @@ impl PatternStage {
             });
         }
 
+        // Host workers for every index-parallel phase of this run. The
+        // sequential engine stays fully serial (it is the CUGR baseline).
+        let pool = match self.engine {
+            PatternEngine::GpuFlow(cfg) => HostPool::resolved(cfg.host_workers),
+            PatternEngine::ParallelCpu { workers } => HostPool::new(workers),
+            PatternEngine::SequentialCpu => HostPool::new(1),
+        };
+
         // --- Planning: Steiner trees, ordering, batch extraction. ---
         let plan_start = Instant::now();
         let mut builder = SteinerBuilder::new().with_passes(self.steiner_passes);
@@ -133,7 +148,8 @@ impl PatternStage {
                 RUDY_SHIFT_WEIGHT,
             );
         }
-        let trees: Vec<RouteTree> = design.nets().iter().map(|net| builder.build(net)).collect();
+        let nets = design.nets();
+        let trees: Vec<RouteTree> = pool.map(nets.len(), |i| builder.build(&nets[i]));
         let order = self.sorting.sorted_ids(design.nets());
         let bboxes: Vec<Rect> = design.nets().iter().map(|n| n.bounding_box()).collect();
         let conflicts = ConflictGraph::from_bounding_boxes(&bboxes);
@@ -149,36 +165,34 @@ impl PatternStage {
             PatternEngine::GpuFlow(device_config) => {
                 let mut device = Device::new(device_config);
                 for batch in &batches {
-                    // One block per multi-pin net of the batch; results land
-                    // in per-net slots, demand commits after the launch (the
-                    // batch is conflict-free, so order within it is moot).
-                    let mut failed = None;
+                    // One block per multi-pin net of the batch; blocks run
+                    // concurrently on the device's host pool, each writing
+                    // its own index-disjoint slot. Demand commits after the
+                    // launch in batch order (the batch is conflict-free, so
+                    // order within it is moot).
+                    let slots = SyncSlots::new(batch.len());
+                    let failed: OnceLock<u32> = OnceLock::new();
                     {
                         let dp = PatternDp::new(graph, self.mode);
-                        let batch_routes: Vec<Option<Route>> = {
-                            let mut slots: Vec<Option<Route>> = vec![None; batch.len()];
-                            device.launch("pattern", batch.len(), |b| {
-                                let net_id = batch[b];
-                                match dp.route_net(&trees[net_id as usize]) {
-                                    Some(result) => {
-                                        let profile = result.profile;
-                                        slots[b] = Some(result.route);
-                                        profile
-                                    }
-                                    None => {
-                                        failed.get_or_insert(net_id);
-                                        fastgr_gpu::BlockProfile::new(1, 1)
-                                    }
+                        device.launch("pattern", batch.len(), |b| {
+                            let net_id = batch[b];
+                            match dp.route_net(&trees[net_id as usize]) {
+                                Some(result) => {
+                                    slots.set(b, result.route);
+                                    result.profile
                                 }
-                            });
-                            slots
-                        };
-                        if let Some(net) = failed {
-                            return Err(RouteError::NoFinitePattern { net });
-                        }
-                        for (b, slot) in batch_routes.into_iter().enumerate() {
-                            routes[batch[b] as usize] = slot.expect("routed above");
-                        }
+                                None => {
+                                    let _ = failed.set(net_id);
+                                    fastgr_gpu::BlockProfile::new(1, 1)
+                                }
+                            }
+                        });
+                    }
+                    if let Some(&net) = failed.get() {
+                        return Err(RouteError::NoFinitePattern { net });
+                    }
+                    for (b, slot) in slots.into_vec().into_iter().enumerate() {
+                        routes[batch[b] as usize] = slot.expect("routed above");
                     }
                     for &net_id in batch {
                         graph.commit(&routes[net_id as usize])?;
@@ -200,7 +214,6 @@ impl PatternStage {
             }
             PatternEngine::ParallelCpu { workers } => {
                 use fastgr_taskgraph::{Executor, Schedule};
-                use parking_lot::Mutex;
                 let executor = Executor::new(workers);
                 for batch in &batches {
                     // All nets of a batch are mutually conflict-free, so an
@@ -215,26 +228,27 @@ impl PatternStage {
                         .collect();
                     let conflicts = ConflictGraph::from_bounding_boxes(&disjoint_boxes);
                     let schedule = Schedule::build(&ids, &conflicts);
-                    let slots: Vec<Mutex<Option<Route>>> =
-                        (0..batch.len()).map(|_| Mutex::new(None)).collect();
-                    let failed = Mutex::new(None);
+                    let slots = SyncSlots::new(batch.len());
+                    let failed: OnceLock<u32> = OnceLock::new();
                     {
                         let dp = PatternDp::new(graph, self.mode);
                         executor.run(&schedule, |t| {
                             let net_id = batch[t as usize];
                             match dp.route_net(&trees[net_id as usize]) {
-                                Some(result) => *slots[t as usize].lock() = Some(result.route),
+                                Some(result) => {
+                                    slots.set(t as usize, result.route);
+                                }
                                 None => {
-                                    failed.lock().get_or_insert(net_id);
+                                    let _ = failed.set(net_id);
                                 }
                             }
                         });
                     }
-                    if let Some(net) = failed.into_inner() {
+                    if let Some(&net) = failed.get() {
                         return Err(RouteError::NoFinitePattern { net });
                     }
-                    for (t, slot) in slots.into_iter().enumerate() {
-                        routes[batch[t] as usize] = slot.into_inner().expect("routed above");
+                    for (t, slot) in slots.into_vec().into_iter().enumerate() {
+                        routes[batch[t] as usize] = slot.expect("routed above");
                         graph.commit(&routes[batch[t] as usize])?;
                     }
                 }
@@ -344,6 +358,26 @@ mod tests {
         );
         assert_eq!(a.routes, b.routes);
         assert!(b.modeled_gpu_seconds.is_none());
+    }
+
+    #[test]
+    fn gpu_engine_is_deterministic_across_worker_counts() {
+        // Same design, 1 vs 4 host workers: the routed geometry must be
+        // byte-identical and the modelled device seconds bit-identical —
+        // host parallelism only changes wall-clock.
+        let run_with = |workers: usize| {
+            run(
+                PatternEngine::GpuFlow(DeviceConfig::rtx3090_like().with_host_workers(workers)),
+                PatternMode::HybridAll,
+            )
+        };
+        let (serial, _) = run_with(1);
+        let (parallel, _) = run_with(4);
+        assert_eq!(serial.routes, parallel.routes);
+        assert_eq!(serial.trees, parallel.trees);
+        let a = serial.modeled_gpu_seconds.expect("modelled");
+        let b = parallel.modeled_gpu_seconds.expect("modelled");
+        assert_eq!(a.to_bits(), b.to_bits(), "modelled time diverged: {a} vs {b}");
     }
 
     #[test]

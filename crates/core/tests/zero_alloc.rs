@@ -1,0 +1,81 @@
+//! Verifies the zero-allocation guarantee of the pattern DP hot path:
+//! once a [`DpScratch`] and an output [`Route`] have grown to the largest
+//! net (one warm-up pass), [`PatternDp::route_net_into`] must not touch
+//! the heap at all.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! counting global allocator — unit tests running concurrently in the
+//! library binary would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fastgr_core::{DpScratch, PatternDp, PatternMode};
+use fastgr_design::Generator;
+use fastgr_grid::{CostParams, Route};
+use fastgr_steiner::SteinerBuilder;
+
+/// Counts every allocation and reallocation passed to the system
+/// allocator. Frees are not counted: releasing memory is allowed (and
+/// does not happen on the hot path anyway — buffers are recycled).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn route_net_into_is_allocation_free_in_steady_state() {
+    let design = Generator::tiny(7).generate();
+    let graph = design.build_graph(CostParams::default()).expect("valid");
+    let builder = SteinerBuilder::new().with_passes(4);
+    let trees: Vec<_> = design.nets().iter().map(|n| builder.build(n)).collect();
+    assert!(!trees.is_empty());
+
+    for mode in [
+        PatternMode::LShape,
+        PatternMode::ZShape,
+        PatternMode::HybridAll,
+    ] {
+        let dp = PatternDp::new(&graph, mode);
+        let mut scratch = DpScratch::new();
+        let mut route = Route::new();
+
+        // Warm-up pass: grows every scratch table and the route's
+        // geometry buffers to their high-water marks.
+        for tree in &trees {
+            dp.route_net_into(tree, &mut scratch, &mut route)
+                .expect("routable");
+        }
+
+        // Steady state: routing the whole design again through the same
+        // scratch must perform zero heap allocations.
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for tree in &trees {
+            dp.route_net_into(tree, &mut scratch, &mut route)
+                .expect("routable");
+        }
+        let steady = ALLOCS.load(Ordering::SeqCst) - before;
+        assert_eq!(
+            steady, 0,
+            "{mode:?}: {steady} allocations on the steady-state pass"
+        );
+    }
+}

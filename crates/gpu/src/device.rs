@@ -1,6 +1,9 @@
 //! The simulated device and its calibrated performance model.
 
 use std::fmt;
+use std::time::Instant;
+
+use crate::pool::HostPool;
 
 /// Static configuration of the simulated device.
 ///
@@ -19,30 +22,45 @@ pub struct DeviceConfig {
     pub stage_seconds: f64,
     /// Fixed host-side cost of one kernel launch, in seconds.
     pub launch_overhead_seconds: f64,
+    /// Host worker threads that execute blocks in parallel. `0` means
+    /// auto: the `FASTGR_WORKERS` environment variable if set, else the
+    /// machine's available parallelism. This affects only *wall-clock*
+    /// execution speed; the modelled device time is byte-identical for
+    /// every worker count.
+    pub host_workers: usize,
 }
 
 impl DeviceConfig {
     /// An RTX-3090-like device: 82 SMs, 256-thread blocks (the realistic
     /// occupancy for these register-heavy cost-gather kernels), 900 ns per
     /// flow stage (dozens of clocks at 1.4 GHz including global-memory
-    /// latency), 8 µs launch overhead.
+    /// latency), 8 µs launch overhead. Host workers are auto-sized.
     pub const fn rtx3090_like() -> Self {
         Self {
             sm_count: 82,
             threads_per_block: 256,
             stage_seconds: 900e-9,
             launch_overhead_seconds: 8e-6,
+            host_workers: 0,
         }
     }
 
-    /// A deliberately tiny device for tests: 2 SMs, 4-thread blocks.
+    /// A deliberately tiny device for tests: 2 SMs, 4-thread blocks, one
+    /// host worker (serial, in-order block execution).
     pub const fn tiny() -> Self {
         Self {
             sm_count: 2,
             threads_per_block: 4,
             stage_seconds: 1e-6,
             launch_overhead_seconds: 10e-6,
+            host_workers: 1,
         }
+    }
+
+    /// Returns the configuration with `host_workers` set (`0` = auto).
+    pub const fn with_host_workers(mut self, workers: usize) -> Self {
+        self.host_workers = workers;
+        self
     }
 }
 
@@ -90,6 +108,11 @@ pub struct KernelStats {
     pub blocks: usize,
     /// Modelled device time in seconds.
     pub modeled_seconds: f64,
+    /// Wall-clock host time spent executing the blocks, in seconds.
+    /// Unlike `modeled_seconds` this depends on host load and worker
+    /// count; it is reported for speedup measurements, never fed back
+    /// into the performance model.
+    pub host_seconds: f64,
 }
 
 /// Cumulative statistics of a device.
@@ -101,42 +124,61 @@ pub struct DeviceStats {
     pub blocks: usize,
     /// Total modelled device time in seconds.
     pub modeled_seconds: f64,
+    /// Total wall-clock host time spent executing blocks, in seconds.
+    pub host_seconds: f64,
 }
 
 impl fmt::Display for DeviceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} launches, {} blocks, {:.3} ms modelled",
+            "{} launches, {} blocks, {:.3} ms modelled, {:.3} ms host",
             self.launches,
             self.blocks,
-            self.modeled_seconds * 1e3
+            self.modeled_seconds * 1e3,
+            self.host_seconds * 1e3
         )
     }
 }
 
 /// The simulated CUDA-like device.
 ///
-/// Executes kernels block by block on the host while charging modelled
-/// device time. See the crate docs for the timing model and the example.
+/// Executes kernels block by block on a host worker pool while charging
+/// modelled device time. See the crate docs for the timing model and the
+/// example.
 #[derive(Debug, Clone)]
 pub struct Device {
     config: DeviceConfig,
     stats: DeviceStats,
+    pool: HostPool,
 }
 
 impl Device {
-    /// Creates a device with the given configuration.
+    /// Creates a device with the given configuration. The host worker
+    /// count is resolved once here (see [`DeviceConfig::host_workers`]).
     pub fn new(config: DeviceConfig) -> Self {
         Self {
             config,
             stats: DeviceStats::default(),
+            pool: HostPool::resolved(config.host_workers),
         }
     }
 
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
+    }
+
+    /// The host worker pool blocks execute on. Exposed so stages can run
+    /// their own index-parallel host work (e.g. Steiner-tree planning) on
+    /// the same threads that execute device blocks.
+    pub fn pool(&self) -> HostPool {
+        self.pool
+    }
+
+    /// Resolved number of host worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Cumulative statistics since creation or the last reset.
@@ -149,30 +191,42 @@ impl Device {
         self.stats = DeviceStats::default();
     }
 
-    /// Launches a kernel of `blocks` blocks. `run_block` is invoked once per
-    /// block (in order, on the host) and reports the block's flow profile;
-    /// the modelled kernel time is the throughput bound of the SM array,
-    /// floored by the slowest single block:
+    /// Launches a kernel of `blocks` blocks. `run_block` is invoked once
+    /// per block on the host worker pool — blocks must therefore be
+    /// mutually independent, exactly as real CUDA blocks of one kernel are
+    /// — and reports the block's flow profile; the modelled kernel time is
+    /// the throughput bound of the SM array, floored by the slowest single
+    /// block:
     ///
     /// ```text
     /// launch_overhead + max(max_block_time, sum_block_time / sm_count)
     /// block_time = flow_depth * ceil(threads / threads_per_block) * stage_seconds
     /// ```
     ///
-    /// A zero-block launch costs only the launch overhead.
-    pub fn launch<F>(&mut self, name: &str, blocks: usize, mut run_block: F) -> KernelStats
+    /// Per-block times are reduced in block-index order, so
+    /// `modeled_seconds` is byte-identical for every host worker count.
+    /// With one worker, blocks run serially in index order on the calling
+    /// thread. A zero-block launch costs only the launch overhead.
+    pub fn launch<F>(&mut self, name: &str, blocks: usize, run_block: F) -> KernelStats
     where
-        F: FnMut(usize) -> BlockProfile,
+        F: Fn(usize) -> BlockProfile + Sync,
     {
+        let host_start = Instant::now();
+        let threads_per_block = self.config.threads_per_block;
+        let stage_seconds = self.config.stage_seconds;
+        // Index-ordered per-block times; `HostPool::map` is serial and
+        // in-order for one worker, parallel (but still index-addressed)
+        // otherwise.
+        let block_times = self.pool.map(blocks, |b| {
+            let profile = run_block(b);
+            let waves = profile.threads.div_ceil(threads_per_block).max(1);
+            profile.flow_depth as f64 * waves as f64 * stage_seconds
+        });
+        // One reduction in index order, shared by the serial and parallel
+        // paths: the floating-point result cannot depend on worker count.
         let mut max_block_time = 0.0f64;
         let mut total_block_time = 0.0f64;
-        for b in 0..blocks {
-            let profile = run_block(b);
-            let waves = profile
-                .threads
-                .div_ceil(self.config.threads_per_block)
-                .max(1);
-            let block_time = profile.flow_depth as f64 * waves as f64 * self.config.stage_seconds;
+        for &block_time in &block_times {
             total_block_time += block_time;
             if block_time > max_block_time {
                 max_block_time = block_time;
@@ -180,13 +234,16 @@ impl Device {
         }
         let modeled_seconds = self.config.launch_overhead_seconds
             + max_block_time.max(total_block_time / self.config.sm_count as f64);
+        let host_seconds = host_start.elapsed().as_secs_f64();
         self.stats.launches += 1;
         self.stats.blocks += blocks;
         self.stats.modeled_seconds += modeled_seconds;
+        self.stats.host_seconds += host_seconds;
         KernelStats {
             name: name.to_owned(),
             blocks,
             modeled_seconds,
+            host_seconds,
         }
     }
 }
@@ -200,15 +257,26 @@ impl Default for Device {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn zero_block_launch_costs_only_overhead() {
+        // Serial device.
         let mut d = Device::new(DeviceConfig::tiny());
         let s = d.launch("noop", 0, |_| BlockProfile::new(1, 1));
         assert_eq!(
             s.modeled_seconds,
             DeviceConfig::tiny().launch_overhead_seconds
         );
+        // Parallel device: same contract regardless of worker count.
+        let mut d = Device::new(DeviceConfig::tiny().with_host_workers(4));
+        assert_eq!(d.workers(), 4);
+        let s = d.launch("noop", 0, |_| BlockProfile::new(1, 1));
+        assert_eq!(
+            s.modeled_seconds,
+            DeviceConfig::tiny().launch_overhead_seconds
+        );
+        assert!(s.host_seconds >= 0.0);
     }
 
     #[test]
@@ -243,9 +311,7 @@ mod tests {
     fn slowest_block_dominates() {
         let cfg = DeviceConfig::tiny();
         let mut d = Device::new(cfg);
-        let s = d.launch("k", 2, |b| {
-            BlockProfile::new(1, if b == 0 { 1 } else { 10 })
-        });
+        let s = d.launch("k", 2, |b| BlockProfile::new(1, if b == 0 { 1 } else { 10 }));
         let body = s.modeled_seconds - cfg.launch_overhead_seconds;
         assert!((body - 10.0 * cfg.stage_seconds).abs() < 1e-12);
     }
@@ -258,6 +324,7 @@ mod tests {
         assert_eq!(d.stats().launches, 2);
         assert_eq!(d.stats().blocks, 8);
         assert!(d.stats().modeled_seconds > 0.0);
+        assert!(d.stats().host_seconds >= 0.0);
         d.reset_stats();
         assert_eq!(d.stats(), &DeviceStats::default());
     }
@@ -279,9 +346,7 @@ mod tests {
         // faster than that block even with idle SMs.
         let cfg = DeviceConfig::tiny();
         let mut d = Device::new(cfg);
-        let s = d.launch("k", 3, |b| {
-            BlockProfile::new(1, if b == 0 { 100 } else { 1 })
-        });
+        let s = d.launch("k", 3, |b| BlockProfile::new(1, if b == 0 { 100 } else { 1 }));
         let body = s.modeled_seconds - cfg.launch_overhead_seconds;
         assert!(body >= 100.0 * cfg.stage_seconds - 1e-12);
     }
@@ -294,13 +359,39 @@ mod tests {
     }
 
     #[test]
-    fn blocks_run_in_order_on_host() {
+    fn blocks_run_in_order_on_host_with_one_worker() {
+        // tiny() pins host_workers to 1, so blocks execute serially in
+        // index order on the calling thread.
         let mut d = Device::new(DeviceConfig::tiny());
-        let mut seen = Vec::new();
+        assert_eq!(d.workers(), 1);
+        let seen = Mutex::new(Vec::new());
         d.launch("k", 4, |b| {
-            seen.push(b);
+            seen.lock().unwrap().push(b);
             BlockProfile::new(1, 1)
         });
-        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(seen.into_inner().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_launch_runs_every_block_once() {
+        let mut d = Device::new(DeviceConfig::tiny().with_host_workers(4));
+        let seen = Mutex::new(vec![0u32; 64]);
+        d.launch("k", 64, |b| {
+            seen.lock().unwrap()[b] += 1;
+            BlockProfile::new(1, 1)
+        });
+        assert!(seen.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn modeled_seconds_identical_across_worker_counts() {
+        // Irregular block shapes so the reduction actually exercises both
+        // the max and the accumulating sum.
+        let profile = |b: usize| BlockProfile::new(1 + (b * 7) % 13, 1 + (b * 5) % 9);
+        let mut serial = Device::new(DeviceConfig::tiny().with_host_workers(1));
+        let mut parallel = Device::new(DeviceConfig::tiny().with_host_workers(8));
+        let a = serial.launch("k", 257, profile).modeled_seconds;
+        let b = parallel.launch("k", 257, profile).modeled_seconds;
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -57,6 +57,22 @@ impl Matrix {
     pub fn row(&self, r: usize) -> &[f64] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
+
+    /// Reshapes the matrix to `rows x cols` with every entry set to
+    /// `fill`, reusing the existing allocation. This is the zero-alloc
+    /// (in steady state) counterpart of [`Matrix::filled`] for scratch
+    /// matrices that are rebuilt per edge in the pattern DP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset(&mut self, rows: usize, cols: usize, fill: f64) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, fill);
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -113,10 +129,31 @@ pub struct MinPlus {
 /// assert_eq!(r.argmin, vec![0, 1]);
 /// ```
 pub fn vec_mat_min_plus(w1: &[f64], w2: &Matrix) -> MinPlus {
+    let mut values = Vec::new();
+    let mut argmin = Vec::new();
+    vec_mat_min_plus_into(w1, w2, &mut values, &mut argmin);
+    MinPlus { values, argmin }
+}
+
+/// [`vec_mat_min_plus`] writing into caller-owned buffers (cleared and
+/// resized in place, so repeated calls reuse their capacity and allocate
+/// nothing in steady state).
+///
+/// # Panics
+///
+/// Panics if `w1.len() != w2.rows()`.
+pub fn vec_mat_min_plus_into(
+    w1: &[f64],
+    w2: &Matrix,
+    values: &mut Vec<f64>,
+    argmin: &mut Vec<usize>,
+) {
     assert_eq!(w1.len(), w2.rows(), "w1 length must equal w2 row count");
     let cols = w2.cols();
-    let mut values = vec![f64::INFINITY; cols];
-    let mut argmin = vec![0usize; cols];
+    values.clear();
+    values.resize(cols, f64::INFINITY);
+    argmin.clear();
+    argmin.resize(cols, 0);
     for (s, &base) in w1.iter().enumerate() {
         let row = w2.row(s);
         for t in 0..cols {
@@ -127,7 +164,6 @@ pub fn vec_mat_min_plus(w1: &[f64], w2: &Matrix) -> MinPlus {
             }
         }
     }
-    MinPlus { values, argmin }
 }
 
 /// Result of a two-stage min-plus chain with full backtracking.
@@ -194,6 +230,38 @@ pub fn merge_min(candidates: &[Vec<f64>]) -> MinPlus {
         }
     }
     MinPlus { values, argmin }
+}
+
+/// [`merge_min`] over candidates stored as consecutive `lanes`-wide rows
+/// of one flat slice, writing into caller-owned buffers (cleared and
+/// resized in place — no steady-state allocation). Ties resolve to the
+/// smallest candidate index, exactly like [`merge_min`].
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or its length is not a multiple of `lanes`.
+pub fn merge_min_rows(
+    rows: &[f64],
+    lanes: usize,
+    values: &mut Vec<f64>,
+    argmin: &mut Vec<usize>,
+) {
+    assert!(
+        !rows.is_empty() && rows.len().is_multiple_of(lanes),
+        "rows must hold a positive whole number of {lanes}-lane candidates"
+    );
+    values.clear();
+    values.resize(lanes, f64::INFINITY);
+    argmin.clear();
+    argmin.resize(lanes, 0);
+    for (i, cand) in rows.chunks_exact(lanes).enumerate() {
+        for t in 0..lanes {
+            if cand[t] < values[t] {
+                values[t] = cand[t];
+                argmin[t] = i;
+            }
+        }
+    }
 }
 
 /// Scalar minimum with argmin over a slice (the final Eq. 4 reduction).
@@ -283,6 +351,40 @@ mod tests {
     #[should_panic(expected = "at least one candidate")]
     fn empty_merge_panics() {
         let _ = merge_min(&[]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let w1 = [1.0, 10.0, 4.0];
+        let mut w2 = Matrix::filled(3, 3, 2.0);
+        w2[(1, 0)] = -5.0;
+        w2[(2, 2)] = 0.5;
+        let reference = vec_mat_min_plus(&w1, &w2);
+        let (mut values, mut argmin) = (Vec::new(), Vec::new());
+        // Two rounds: the second must reuse capacity and still be correct.
+        for _ in 0..2 {
+            vec_mat_min_plus_into(&w1, &w2, &mut values, &mut argmin);
+            assert_eq!(values, reference.values);
+            assert_eq!(argmin, reference.argmin);
+        }
+
+        let flat = [3.0, 9.0, 5.0, 1.0];
+        let reference = merge_min(&[vec![3.0, 9.0], vec![5.0, 1.0]]);
+        merge_min_rows(&flat, 2, &mut values, &mut argmin);
+        assert_eq!(values, reference.values);
+        assert_eq!(argmin, reference.argmin);
+    }
+
+    #[test]
+    fn matrix_reset_reshapes_and_refills() {
+        let mut m = Matrix::filled(2, 2, 1.0);
+        m[(0, 1)] = 9.0;
+        m.reset(3, 4, f64::INFINITY);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.row(0).iter().all(|v| v.is_infinite()));
+        m.reset(1, 1, 0.0);
+        assert_eq!(m[(0, 0)], 0.0);
     }
 
     #[test]

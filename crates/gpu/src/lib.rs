@@ -8,11 +8,16 @@
 //!   vector/matrix operations the paper reformulates pattern routing into,
 //!   and the routing solutions they produce are the ones used downstream;
 //! * only **timing** is modelled — [`Device::launch`] executes each block on
-//!   the host and charges simulated time from a calibrated, design-
-//!   independent performance model ([`DeviceConfig`]): one kernel costs
-//!   `launch_overhead + ceil(blocks / sm_count) * max-block-flow-time`,
+//!   a host worker pool ([`pool::HostPool`]; blocks of one kernel are
+//!   independent, so they parallelise across real CPU threads) and charges
+//!   simulated time from a calibrated, design-independent performance model
+//!   ([`DeviceConfig`]): one kernel costs
+//!   `launch_overhead + max(max_block_time, sum_block_time / sm_count)`,
 //!   where a block running a flow of depth `d` with `t` homogeneous threads
-//!   costs `d * ceil(t / threads_per_block) * stage_time`;
+//!   costs `d * ceil(t / threads_per_block) * stage_time`. Per-block times
+//!   are reduced in index order, so the modelled time is byte-identical for
+//!   every worker count; the measured wall-clock time is reported
+//!   separately as `host_seconds`;
 //! * the paper's zero-copy host-mapped transfers are modelled by
 //!   [`ZeroCopyBuffer`], which counts mapped bytes at zero marginal time —
 //!   matching the paper's observation that zero-copy keeps transfer time
@@ -36,6 +41,8 @@
 mod buffer;
 mod device;
 pub mod flow;
+pub mod pool;
 
 pub use buffer::ZeroCopyBuffer;
 pub use device::{BlockProfile, Device, DeviceConfig, DeviceStats, KernelStats};
+pub use pool::{HostPool, SyncSlots};

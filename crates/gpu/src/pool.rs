@@ -1,0 +1,264 @@
+//! Host-side worker pool that executes simulated-device blocks in
+//! parallel.
+//!
+//! The paper's headline speed-ups come from running one block per net
+//! concurrently on the GPU's SM array. The simulated device used to invoke
+//! every block sequentially on one host thread, so the *modeled* time was
+//! parallel but the *wall-clock* time never was. [`HostPool`] closes that
+//! gap: block indices are handed out in contiguous chunks through an
+//! atomic cursor to scoped worker threads, so conflict-free blocks (and
+//! any other index-parallel host work, such as Steiner-tree planning)
+//! execute with real CPU parallelism while remaining deterministic —
+//! every index is processed exactly once and results land in
+//! index-addressed slots, never depending on thread interleaving.
+//!
+//! Worker count resolution (see [`HostPool::resolve`]): an explicit
+//! request wins, then the `FASTGR_WORKERS` environment variable, then the
+//! machine's available parallelism. `FASTGR_WORKERS=1` forces fully
+//! serial, in-order execution — useful for reproducing runs and for
+//! debugging.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Write-once, index-disjoint result cells shared across worker threads.
+///
+/// Each parallel task owns exactly one index, so a write is an
+/// uncontended per-cell lock (a plain `OnceLock` would demand `T: Sync`;
+/// these cells only need `T: Send`, matching what `Fn(usize) -> T`
+/// mapping actually requires). First write to a cell wins. Reading the
+/// results back consumes the slots.
+///
+/// # Example
+///
+/// ```
+/// use fastgr_gpu::pool::{HostPool, SyncSlots};
+///
+/// let slots = SyncSlots::new(4);
+/// HostPool::new(2).for_each(4, |i| {
+///     slots.set(i, i * 10);
+/// });
+/// let values = slots.into_vec();
+/// assert_eq!(values, vec![Some(0), Some(10), Some(20), Some(30)]);
+/// ```
+#[derive(Debug)]
+pub struct SyncSlots<T> {
+    cells: Vec<Mutex<Option<T>>>,
+}
+
+impl<T> SyncSlots<T> {
+    /// Creates `n` empty cells.
+    pub fn new(n: usize) -> Self {
+        let mut cells = Vec::with_capacity(n);
+        cells.resize_with(n, || Mutex::new(None));
+        Self { cells }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Sets cell `i` (first write wins). Returns whether the write landed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&self, i: usize, value: T) -> bool {
+        let mut cell = self.cells[i].lock().unwrap_or_else(|e| e.into_inner());
+        if cell.is_some() {
+            false
+        } else {
+            *cell = Some(value);
+            true
+        }
+    }
+
+    /// Consumes the slots, returning each cell's value in index order.
+    pub fn into_vec(self) -> Vec<Option<T>> {
+        self.cells
+            .into_iter()
+            .map(|c| c.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+}
+
+/// A pool of host worker threads executing index-parallel work.
+///
+/// The pool is a lightweight descriptor (worker count); workers are
+/// scoped threads spawned per run, so closures may freely borrow from the
+/// caller's stack. Chunked dispatch keeps the per-index overhead small:
+/// a shared atomic cursor hands out contiguous index ranges, which also
+/// preserves cache locality for index-adjacent work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostPool {
+    workers: usize,
+}
+
+impl HostPool {
+    /// A pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Resolves an effective worker count: `requested` if positive, else
+    /// the `FASTGR_WORKERS` environment variable if set to a positive
+    /// integer, else the machine's available parallelism.
+    pub fn resolve(requested: usize) -> usize {
+        if requested > 0 {
+            return requested;
+        }
+        if let Some(n) = std::env::var("FASTGR_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// A pool sized by [`HostPool::resolve`] from `requested`.
+    pub fn resolved(requested: usize) -> Self {
+        Self::new(Self::resolve(requested))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, distributing indices over the
+    /// pool. With one worker (or at most one index) this degenerates to a
+    /// serial in-order loop with no thread spawn at all.
+    pub fn for_each<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // Chunk size balances dispatch overhead against load balance:
+        // roughly 8 chunks per worker, capped so huge runs still rotate.
+        let chunk = (n / (self.workers * 8)).clamp(1, 1024);
+        let cursor = AtomicUsize::new(0);
+        let threads = self.workers.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Maps `f` over `0..n` in parallel, returning results in index order.
+    /// Deterministic: the output depends only on `f`, never on thread
+    /// interleaving.
+    pub fn map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let slots = SyncSlots::new(n);
+        self.for_each(n, |i| {
+            slots.set(i, f(i));
+        });
+        slots
+            .into_vec()
+            .into_iter()
+            .map(|v| v.expect("every index produced a value"))
+            .collect()
+    }
+}
+
+impl Default for HostPool {
+    fn default() -> Self {
+        Self::resolved(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        for workers in [1, 2, 8] {
+            let n = 1000;
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            HostPool::new(workers).for_each(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_is_ordered_and_worker_count_independent() {
+        let f = |i: usize| (i * i) as u64;
+        let serial = HostPool::new(1).map(4096, f);
+        let parallel = HostPool::new(7).map(4096, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[9], 81);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let total = AtomicU64::new(0);
+        HostPool::new(4).for_each(100_000, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn zero_and_one_index_runs_inline() {
+        let pool = HostPool::new(8);
+        pool.for_each(0, |_| panic!("no indices to run"));
+        let one = pool.map(1, |i| i + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn sync_slots_first_write_wins() {
+        let slots = SyncSlots::new(2);
+        assert!(slots.set(0, 1));
+        assert!(!slots.set(0, 2));
+        assert_eq!(slots.len(), 2);
+        assert!(!slots.is_empty());
+        assert_eq!(slots.into_vec(), vec![Some(1), None]);
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_request() {
+        assert_eq!(HostPool::resolve(3), 3);
+        assert!(HostPool::resolve(0) >= 1);
+        assert_eq!(HostPool::new(0).workers(), 1);
+    }
+}

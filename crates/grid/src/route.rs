@@ -166,6 +166,14 @@ impl Route {
         self.vias.extend_from_slice(&other.vias);
     }
 
+    /// Removes all geometry, keeping the allocations for reuse. Routing
+    /// many nets into one recycled `Route` therefore allocates nothing in
+    /// steady state.
+    pub fn clear(&mut self) {
+        self.segments.clear();
+        self.vias.clear();
+    }
+
     /// The wire segments of the route.
     pub fn segments(&self) -> &[Segment] {
         &self.segments
@@ -292,72 +300,63 @@ impl Route {
     /// assert_eq!(r.wirelength(), 9);
     /// ```
     pub fn normalize(&mut self) {
-        use std::collections::HashMap;
-
-        // Merge segments per (layer, orientation, cross coordinate).
-        let mut groups: HashMap<(u8, bool, u16), Vec<(u16, u16)>> = HashMap::new();
-        for s in &self.segments {
+        // In place with no heap allocation: sort groups segments by
+        // (layer, orientation, cross coordinate) with intervals ascending
+        // inside each group, then one forward pass merges overlapping or
+        // touching intervals through a write cursor. This runs per net in
+        // the pattern hot path, so it must not allocate.
+        let seg_key = |s: &Segment| {
             let horizontal = s.is_horizontal();
-            let (cross, lo, hi) = if horizontal {
-                (s.from.y, s.from.x, s.to.x)
+            let (cross, lo) = if horizontal {
+                (s.from.y, s.from.x)
             } else {
-                (s.from.x, s.from.y, s.to.y)
+                (s.from.x, s.from.y)
             };
-            groups
-                .entry((s.layer, horizontal, cross))
-                .or_default()
-                .push((lo, hi));
-        }
-        let mut segments = Vec::with_capacity(self.segments.len());
-        let mut keys: Vec<_> = groups.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let (layer, horizontal, cross) = key;
-            let mut intervals = groups.remove(&key).expect("key from map");
-            intervals.sort_unstable();
-            let mut merged: Vec<(u16, u16)> = Vec::new();
-            for (lo, hi) in intervals {
-                match merged.last_mut() {
-                    // Touching intervals share a G-cell, hence merge.
-                    Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
-                    _ => merged.push((lo, hi)),
+            (s.layer, horizontal, cross, lo)
+        };
+        self.segments.sort_unstable_by_key(seg_key);
+        let mut w = 0usize;
+        for i in 0..self.segments.len() {
+            let s = self.segments[i];
+            if w > 0 {
+                let last = self.segments[w - 1];
+                let (kl, kh) = (seg_key(&last), seg_key(&s));
+                // Same group and touching/overlapping intervals merge
+                // (touching intervals share a G-cell).
+                if (kl.0, kl.1, kl.2) == (kh.0, kh.1, kh.2)
+                    && kh.3 <= if kl.1 { last.to.x } else { last.to.y }
+                {
+                    let last = &mut self.segments[w - 1];
+                    if kl.1 {
+                        last.to.x = last.to.x.max(s.to.x);
+                    } else {
+                        last.to.y = last.to.y.max(s.to.y);
+                    }
+                    continue;
                 }
             }
-            for (lo, hi) in merged {
-                let (a, b) = if horizontal {
-                    (Point2::new(lo, cross), Point2::new(hi, cross))
-                } else {
-                    (Point2::new(cross, lo), Point2::new(cross, hi))
-                };
-                segments.push(Segment::new(layer, a, b));
-            }
+            self.segments[w] = s;
+            w += 1;
         }
-        self.segments = segments;
+        self.segments.truncate(w);
 
-        // Merge via stacks per G-cell.
-        let mut via_groups: HashMap<Point2, Vec<(u8, u8)>> = HashMap::new();
-        for v in &self.vias {
-            via_groups.entry(v.at).or_default().push((v.lo, v.hi));
-        }
-        let mut vias = Vec::with_capacity(self.vias.len());
-        let mut at_keys: Vec<_> = via_groups.keys().copied().collect();
-        at_keys.sort_unstable();
-        for at in at_keys {
-            let mut spans = via_groups.remove(&at).expect("key from map");
-            spans.sort_unstable();
-            let mut merged: Vec<(u8, u8)> = Vec::new();
-            for (lo, hi) in spans {
-                match merged.last_mut() {
-                    // Stacks sharing a layer form one stack.
-                    Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
-                    _ => merged.push((lo, hi)),
+        // Merge via stacks per G-cell the same way.
+        self.vias.sort_unstable_by_key(|v| (v.at, v.lo, v.hi));
+        let mut w = 0usize;
+        for i in 0..self.vias.len() {
+            let v = self.vias[i];
+            if w > 0 {
+                let last = &mut self.vias[w - 1];
+                // Stacks sharing a layer form one stack.
+                if last.at == v.at && v.lo <= last.hi {
+                    last.hi = last.hi.max(v.hi);
+                    continue;
                 }
             }
-            for (lo, hi) in merged {
-                vias.push(Via::new(at, lo, hi));
-            }
+            self.vias[w] = v;
+            w += 1;
         }
-        self.vias = vias;
+        self.vias.truncate(w);
     }
 
     /// Returns the canonicalised route (see [`Route::normalize`]).
@@ -499,6 +498,31 @@ mod tests {
         let once = r.clone();
         r.normalize();
         assert_eq!(r, once);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut r = Route::new();
+        r.push_segment(Segment::new(1, Point2::new(0, 0), Point2::new(3, 0)));
+        r.push_via(Via::new(Point2::new(3, 0), 1, 2));
+        r.clear();
+        assert!(r.is_empty());
+        r.push_segment(Segment::new(2, Point2::new(1, 1), Point2::new(1, 4)));
+        assert_eq!(r.wirelength(), 3);
+    }
+
+    #[test]
+    fn normalize_keeps_unrelated_geometry_sorted_and_intact() {
+        let mut r = Route::new();
+        r.push_segment(Segment::new(2, Point2::new(4, 1), Point2::new(4, 6))); // vertical
+        r.push_segment(Segment::new(1, Point2::new(0, 2), Point2::new(5, 2)));
+        r.push_via(Via::new(Point2::new(9, 9), 2, 4));
+        r.push_via(Via::new(Point2::new(0, 2), 0, 1));
+        r.normalize();
+        assert_eq!(r.segments().len(), 2);
+        assert_eq!(r.vias().len(), 2);
+        assert_eq!(r.wirelength(), 5 + 5);
+        assert_eq!(r.via_count(), 2 + 1);
     }
 
     #[test]

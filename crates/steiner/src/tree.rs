@@ -177,17 +177,37 @@ impl RouteTree {
     /// assert_eq!(edges[1].child, 1);
     /// ```
     pub fn ordered_edges(&self) -> Vec<TreeEdge> {
-        let mut order = self.dfs_preorder();
-        order.reverse();
-        order
-            .into_iter()
-            .filter_map(|i| {
-                self.nodes[i as usize].parent.map(|p| TreeEdge {
+        let mut out = Vec::new();
+        self.ordered_edges_into(&mut Vec::new(), &mut out);
+        out
+    }
+
+    /// [`RouteTree::ordered_edges`] writing into caller-owned buffers:
+    /// `stack` is DFS working space, `out` receives the edges. Both are
+    /// cleared first and reuse their capacity, so routing many nets
+    /// through the same buffers allocates nothing in steady state.
+    /// The edge order is identical to [`RouteTree::ordered_edges`].
+    ///
+    /// Construction validates that the parent links form a tree, so the
+    /// traversal here needs no visited set.
+    pub fn ordered_edges_into(&self, stack: &mut Vec<u32>, out: &mut Vec<TreeEdge>) {
+        stack.clear();
+        out.clear();
+        stack.push(0);
+        while let Some(i) = stack.pop() {
+            if let Some(p) = self.nodes[i as usize].parent {
+                out.push(TreeEdge {
                     child: i,
                     parent: p,
-                })
-            })
-            .collect()
+                });
+            }
+            // Push children reversed so they pop in ascending order,
+            // matching `dfs_preorder`.
+            for &c in self.nodes[i as usize].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out.reverse();
     }
 
     /// The child edges of the two-pin net identified by `edge`: the edges
@@ -262,6 +282,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ordered_edges_into_matches_allocating_variant() {
+        let tree = RouteTree::from_parents(
+            vec![
+                Point2::new(5, 5),
+                Point2::new(3, 5),
+                Point2::new(3, 2),
+                Point2::new(1, 5),
+                Point2::new(7, 7),
+            ],
+            vec![0, 0, 1, 1, 0],
+            vec![true; 5],
+        );
+        let mut stack = vec![99u32; 8]; // stale contents must not matter
+        let mut out = Vec::new();
+        tree.ordered_edges_into(&mut stack, &mut out);
+        assert_eq!(out, tree.ordered_edges());
+        // Reuse with a different tree.
+        let path = fig4_tree();
+        path.ordered_edges_into(&mut stack, &mut out);
+        assert_eq!(out, path.ordered_edges());
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Serial-vs-parallel wall-clock snapshot of the pattern stage.
+#
+# Builds the release bench binary and routes the synthetic suite twice per
+# benchmark (1 host worker vs all cores / FASTGR_WORKERS), verifying that
+# geometry and modelled device time are identical across worker counts,
+# then writes BENCH_pattern.json at the repo root.
+#
+# Usage: scripts/bench_pattern.sh [--full] [--workers N] [--out PATH]
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --offline -p fastgr-bench
+exec target/release/bench_pattern "$@"

@@ -1,0 +1,188 @@
+//! Minimal std-only substitute for the subset of `crossbeam` that fastgr
+//! uses: the MPMC unbounded channel (`crossbeam::channel`).
+//!
+//! The build container has no network access to crates.io, so the real
+//! crossbeam cannot be fetched. This shim re-implements the exact API
+//! surface the workspace consumes — `unbounded()`, cloneable `Sender` /
+//! `Receiver`, blocking `recv` that errors once every sender is gone — on
+//! top of `std::sync` primitives. Semantics match crossbeam's for this
+//! subset; throughput is lower (a single mutex-guarded deque instead of a
+//! lock-free queue), which only affects scheduler micro-benchmarks, never
+//! results.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    ///
+    /// This shim never reports it (receivers share the queue's lifetime),
+    /// but the type exists so call sites can name it.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Appends a message to the queue, waking one blocked receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_back(value);
+            drop(queue);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::AcqRel);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake every blocked receiver so it can
+                // observe the disconnect.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errors when the channel is empty
+        /// and no sender remains.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .0
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive used by drain loops in tests.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.pop_front().ok_or(RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trips_in_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(7).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn mpmc_across_threads_delivers_everything() {
+            let (tx, rx) = unbounded::<usize>();
+            let n = 1000;
+            std::thread::scope(|scope| {
+                for chunk in 0..4 {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        for i in 0..n / 4 {
+                            tx.send(chunk * (n / 4) + i).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                let mut got = Vec::new();
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            while let Ok(v) = rx.recv() {
+                                local.push(v);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    got.extend(h.join().unwrap());
+                }
+                got.sort_unstable();
+                assert_eq!(got, (0..n).collect::<Vec<_>>());
+            });
+        }
+    }
+}

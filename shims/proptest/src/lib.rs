@@ -1,0 +1,273 @@
+//! Minimal std-only substitute for the subset of `proptest` that fastgr
+//! uses, for offline builds (no crates.io access in the container).
+//!
+//! Provides deterministic random-input testing with the same *API shape*
+//! as proptest — `proptest! { #[test] fn f(x in strategy) { .. } }`,
+//! `prop_assert!`, `Strategy::prop_map`, `proptest::collection::{vec,
+//! hash_set}` — but without shrinking: a failing case reports its inputs
+//! and the RNG seed instead of minimising them. Inputs are derived from a
+//! per-test deterministic seed, so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::{vec, hash_set}`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Size specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `HashSet` of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::hash_set`: a set with size in `size`.
+    ///
+    /// Like proptest, the target size is sampled first and elements are
+    /// drawn until the set reaches it; a bounded retry count guards
+    /// against value spaces smaller than the requested size.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng).max(self.size.start);
+            let mut set = HashSet::with_capacity(len);
+            let mut attempts = 0usize;
+            while set.len() < len && attempts < 64 * (len + 1) {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            assert!(
+                set.len() >= self.size.start,
+                "value space too small for requested set size {}",
+                self.size.start
+            );
+            set
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current property-test case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion for property-test cases (compares by reference).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion for property-test cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(x in strategy, ..)`
+/// becomes a regular test that samples its inputs `Config::cases` times
+/// from a deterministic per-test RNG and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (
+        $($(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default())
+            $($(#[$meta])* fn $name ( $($arg in $strategy),+ ) $body)*);
+    };
+    (@with_config ($config:expr)
+        $($(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let case_seed = rng.state();
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property test case {}/{} failed (rng state {:#x}): {}",
+                            case + 1,
+                            config.cases,
+                            case_seed,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u16..9, y in 0u8..2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn tuples_and_collections_sample(
+            pair in (0u16..10, 0u16..10),
+            v in crate::collection::vec(0u32..100, 1..5),
+            s in crate::collection::hash_set((0u16..20, 0u16..20), 2..6),
+        ) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(s.len() >= 2);
+        }
+
+        #[test]
+        fn prop_map_transforms(n in (1u8..4).prop_map(|v| v * 10)) {
+            prop_assert!(n == 10 || n == 20 || n == 30, "got {n}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let strat = crate::collection::vec(0u64..1000, 3..10);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+}

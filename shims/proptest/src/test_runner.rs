@@ -1,0 +1,92 @@
+//! Deterministic RNG, per-test configuration, and case errors.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Configuration of a `proptest!` block (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 48 keeps the suite fast while
+        // still exercising a meaningful spread of inputs. Override per
+        // block with `#![proptest_config(ProptestConfig::with_cases(n))]`
+        // or globally with the PROPTEST_CASES environment variable.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48);
+        Self { cases }
+    }
+}
+
+/// Failure of one sampled case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A deterministic splitmix64 RNG, seeded from the test's path so every
+/// run of a given test sees the same input sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG deterministically seeded from `test_path`.
+    pub fn for_test(test_path: &str) -> Self {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        // DefaultHasher::new() is specified to be stable across calls
+        // within a process and is, in practice, stable across runs (no
+        // random keys), which keeps case sequences reproducible.
+        test_path.hash(&mut hasher);
+        Self {
+            state: hasher.finish() | 1,
+        }
+    }
+
+    /// The current internal state (reported on failure for reproduction).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea, Flood 2014) — tiny and well distributed.
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
