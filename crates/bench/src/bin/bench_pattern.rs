@@ -45,6 +45,7 @@ fn run_once(spec: &BenchmarkSpec, workers: usize) -> PatternOutcome {
         sorting: SortingScheme::HpwlAscending,
         steiner_passes: 4,
         congestion_aware_planning: false,
+        validate: false,
     };
     stage.run(&design, &mut graph).expect("suite designs route")
 }

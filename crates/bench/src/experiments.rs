@@ -610,6 +610,7 @@ pub fn ablations() -> String {
             maze: fastgr_maze::MazeConfig::default(),
             workers: 8,
             history_increment: 0.0,
+            validate: false,
         }
         .run(&design, &mut graph, &mut routes)
         .expect("reroutable");

@@ -83,6 +83,7 @@ pub struct PatternOutcome {
 ///     sorting: SortingScheme::HpwlAscending,
 ///     steiner_passes: 4,
 ///     congestion_aware_planning: false,
+///     validate: true,
 /// };
 /// let outcome = stage.run(&design, &mut graph)?;
 /// assert_eq!(outcome.routes.len(), design.nets().len());
@@ -104,6 +105,12 @@ pub struct PatternStage {
     /// map of the design so trees bend away from predicted hot spots
     /// (CUGR's planning behaviour). Off by default.
     pub congestion_aware_planning: bool,
+    /// Debug-assert-style soundness checking: when set, the extracted
+    /// batches are verified against the conflict graph with the
+    /// `fastgr-analysis` validator (every batch an independent set, every
+    /// task covered exactly once) and any violation panics with structured
+    /// diagnostics. Costs one extra pass over the conflict edges.
+    pub validate: bool,
 }
 
 /// Density weight converting RUDY units into G-cell-edge cost units.
@@ -154,6 +161,10 @@ impl PatternStage {
         let bboxes: Vec<Rect> = design.nets().iter().map(|n| n.bounding_box()).collect();
         let conflicts = ConflictGraph::from_bounding_boxes(&bboxes);
         let batches = extract_batches(&order, &conflicts);
+        if self.validate {
+            fastgr_analysis::validate_batches(&batches, &conflicts)
+                .assert_clean("pattern stage batch extraction");
+        }
         let planning_seconds = plan_start.elapsed().as_secs_f64();
 
         // --- Routing. ---
@@ -284,6 +295,7 @@ mod tests {
             sorting: SortingScheme::HpwlAscending,
             steiner_passes: 4,
             congestion_aware_planning: false,
+            validate: true,
         };
         let outcome = stage.run(&design, &mut graph).expect("routable");
         (outcome, graph)
@@ -390,6 +402,7 @@ mod tests {
             sorting: SortingScheme::default(),
             steiner_passes: 4,
             congestion_aware_planning: false,
+            validate: true,
         };
         assert!(matches!(
             stage.run(&design, &mut graph),

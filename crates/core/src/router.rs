@@ -49,6 +49,12 @@ pub struct RouterConfig {
     pub history_increment: f64,
     /// Congestion-aware (RUDY-guided) edge shifting during planning.
     pub congestion_aware_planning: bool,
+    /// Debug-assert-style soundness checking in both stages: batches and
+    /// schedules are verified with the `fastgr-analysis` static validator
+    /// and task-graph executions run under the happens-before race
+    /// checker; violations panic with structured diagnostics. Off in the
+    /// presets; turned on by tests and `cargo xtask check`.
+    pub validate: bool,
 }
 
 impl RouterConfig {
@@ -68,6 +74,7 @@ impl RouterConfig {
             steiner_passes: 4,
             history_increment: 0.0,
             congestion_aware_planning: false,
+            validate: false,
         }
     }
 
@@ -212,6 +219,7 @@ impl Router {
             sorting: c.sorting,
             steiner_passes: c.steiner_passes,
             congestion_aware_planning: c.congestion_aware_planning,
+            validate: c.validate,
         }
         .run(design, &mut graph)?;
         let mut routes = pattern.routes;
@@ -224,6 +232,7 @@ impl Router {
             maze: c.maze,
             workers: c.workers,
             history_increment: c.history_increment,
+            validate: c.validate,
         }
         .run(design, &mut graph, &mut routes)?;
 
@@ -281,6 +290,12 @@ mod tests {
             RouterConfig::fastgr_h(),
             RouterConfig::fastgr_h_no_selection(),
         ] {
+            // Soundness checking on: the analysis validator and the race
+            // checker audit every schedule this run builds.
+            let config = RouterConfig {
+                validate: true,
+                ..config
+            };
             let outcome = Router::new(config).run(&design).expect("routable");
             assert_eq!(outcome.routes.len(), design.nets().len());
             assert!(outcome.metrics.wirelength > 0);

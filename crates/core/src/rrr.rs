@@ -67,6 +67,12 @@ pub struct RrrStage {
     /// configuration; positive values enable NTHU-Route/Archer-style
     /// negotiated congestion, an extension beyond the paper).
     pub history_increment: f64,
+    /// Debug-assert-style soundness checking: when set, every schedule the
+    /// stage builds is verified with the `fastgr-analysis` static
+    /// validator, task-graph executions run under the vector-clock
+    /// happens-before race checker, and batch-barrier batches are checked
+    /// for independence. Violations panic with structured diagnostics.
+    pub validate: bool,
 }
 
 /// Synchronisation cost of one batch barrier (thread wake-up + join across
@@ -179,6 +185,10 @@ impl RrrStage {
             match self.strategy {
                 RrrStrategy::TaskGraph => {
                     let schedule = Schedule::build(&order, &conflicts);
+                    if self.validate {
+                        fastgr_analysis::validate_schedule(&schedule, &conflicts)
+                            .assert_clean("rrr task-graph schedule");
+                    }
                     {
                         // Execute with as many threads as the machine
                         // actually has (oversubscription would inflate the
@@ -189,13 +199,31 @@ impl RrrStage {
                             .unwrap_or(1)
                             .min(self.workers);
                         let graph_lock = RwLock::new(&mut *graph);
-                        Executor::new(threads).run(&schedule, |task| run_task(&graph_lock, task));
+                        if self.validate {
+                            let checker =
+                                fastgr_analysis::RaceChecker::new(schedule.task_count());
+                            Executor::new(threads).run_with_hooks(
+                                &schedule,
+                                |task| run_task(&graph_lock, task),
+                                &checker,
+                            );
+                            checker
+                                .report(&conflicts)
+                                .assert_clean("rrr task-graph execution");
+                        } else {
+                            Executor::new(threads)
+                                .run(&schedule, |task| run_task(&graph_lock, task));
+                        }
                     }
                     let costs: Vec<f64> = slots.iter().map(|s| s.lock().seconds).collect();
                     modeled += schedule.simulate_workers(&costs, self.workers);
                 }
                 RrrStrategy::BatchBarrier => {
                     let batches = extract_batches(&order, &conflicts);
+                    if self.validate {
+                        fastgr_analysis::validate_batches(&batches, &conflicts)
+                            .assert_clean("rrr batch extraction");
+                    }
                     let graph_lock = RwLock::new(&mut *graph);
                     for batch in &batches {
                         for &task in batch {
@@ -283,6 +311,7 @@ mod tests {
             sorting: SortingScheme::HpwlAscending,
             steiner_passes: 4,
             congestion_aware_planning: false,
+            validate: true,
         };
         let outcome = stage.run(&design, &mut graph).expect("routable");
         (design, graph, outcome.routes)
@@ -296,6 +325,7 @@ mod tests {
             maze: MazeConfig::default(),
             workers: 4,
             history_increment: 0.0,
+            validate: true,
         }
     }
 
@@ -364,6 +394,7 @@ mod tests {
             sorting: SortingScheme::HpwlAscending,
             steiner_passes: 4,
             congestion_aware_planning: false,
+            validate: true,
         };
         let mut routes = stage0.run(&design, &mut graph).expect("ok").routes;
         if graph.report().overflow == 0.0 {

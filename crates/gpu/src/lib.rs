@@ -45,4 +45,4 @@ pub mod pool;
 
 pub use buffer::ZeroCopyBuffer;
 pub use device::{BlockProfile, Device, DeviceConfig, DeviceStats, KernelStats};
-pub use pool::{HostPool, SyncSlots};
+pub use pool::{BlockEventTap, HostPool, NoTap, SyncSlots};

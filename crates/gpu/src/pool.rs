@@ -21,6 +21,32 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Begin/end observation tap on block dispatch, called from the worker
+/// threads.
+///
+/// The pool reports which worker executed which block and when (in each
+/// worker's program order), so an external checker — e.g. the
+/// happens-before race checker in `fastgr-analysis` — can verify that
+/// blocks of one launch really were mutually independent (conflicting
+/// blocks must never overlap in time). All methods default to no-ops.
+pub trait BlockEventTap: Sync {
+    /// Block `block` is about to run on worker thread `worker`.
+    fn on_block_start(&self, block: usize, worker: usize) {
+        let _ = (block, worker);
+    }
+
+    /// Block `block` finished running on worker thread `worker`.
+    fn on_block_end(&self, block: usize, worker: usize) {
+        let _ = (block, worker);
+    }
+}
+
+/// The default no-op tap (zero observation overhead).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTap;
+
+impl BlockEventTap for NoTap {}
+
 /// Write-once, index-disjoint result cells shared across worker threads.
 ///
 /// Each parallel task owns exactly one index, so a write is an
@@ -144,9 +170,22 @@ impl HostPool {
     where
         F: Fn(usize) + Sync,
     {
+        self.for_each_tapped(n, f, &NoTap);
+    }
+
+    /// [`HostPool::for_each`] with a begin/end [`BlockEventTap`] around
+    /// every block — see the trait docs for the event contract. On the
+    /// serial path all events come from worker 0 in index order.
+    pub fn for_each_tapped<F, T>(&self, n: usize, f: F, tap: &T)
+    where
+        F: Fn(usize) + Sync,
+        T: BlockEventTap,
+    {
         if self.workers == 1 || n <= 1 {
             for i in 0..n {
+                tap.on_block_start(i, 0);
                 f(i);
+                tap.on_block_end(i, 0);
             }
             return;
         }
@@ -156,14 +195,18 @@ impl HostPool {
         let cursor = AtomicUsize::new(0);
         let threads = self.workers.min(n);
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
+            for worker in 0..threads {
+                let f = &f;
+                let cursor = &cursor;
+                scope.spawn(move || loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
                     }
                     for i in start..(start + chunk).min(n) {
+                        tap.on_block_start(i, worker);
                         f(i);
+                        tap.on_block_end(i, worker);
                     }
                 });
             }
@@ -253,6 +296,34 @@ mod tests {
         assert_eq!(slots.len(), 2);
         assert!(!slots.is_empty());
         assert_eq!(slots.into_vec(), vec![Some(1), None]);
+    }
+
+    #[test]
+    fn tap_sees_balanced_start_end_events_for_every_block() {
+        struct Counter {
+            starts: Vec<AtomicUsize>,
+            ends: Vec<AtomicUsize>,
+        }
+        impl BlockEventTap for Counter {
+            fn on_block_start(&self, block: usize, _worker: usize) {
+                self.starts[block].fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_block_end(&self, block: usize, _worker: usize) {
+                // An end must follow its start.
+                assert_eq!(self.starts[block].load(Ordering::Relaxed), 1);
+                self.ends[block].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for workers in [1, 4] {
+            let n = 100;
+            let tap = Counter {
+                starts: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+                ends: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            };
+            HostPool::new(workers).for_each_tapped(n, |_| {}, &tap);
+            assert!(tap.starts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            assert!(tap.ends.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
     }
 
     #[test]

@@ -75,6 +75,28 @@ impl ConflictGraph {
         }
     }
 
+    /// Builds the conflict graph by the naive all-pairs scan — the `O(n²)`
+    /// reference implementation the bucketised construction is checked
+    /// against (differentially tested here and by `cargo xtask check`).
+    pub fn from_bounding_boxes_naive(boxes: &[Rect]) -> Self {
+        let n = boxes.len();
+        let mut adjacency = vec![Vec::new(); n];
+        let mut edge_count = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if boxes[a].intersects(&boxes[b]) {
+                    adjacency[a].push(b as u32);
+                    adjacency[b].push(a as u32);
+                    edge_count += 1;
+                }
+            }
+        }
+        Self {
+            adjacency,
+            edge_count,
+        }
+    }
+
     /// Number of tasks.
     pub fn task_count(&self) -> usize {
         self.adjacency.len()
@@ -176,6 +198,9 @@ mod tests {
                     );
                 }
             }
+            // The whole structure (adjacency lists, edge count) must equal
+            // the all-pairs reference, not just the membership queries.
+            prop_assert_eq!(g, ConflictGraph::from_bounding_boxes_naive(&boxes));
         }
     }
 }

@@ -6,12 +6,50 @@
 //! on top of a crossbeam channel work queue with atomic dependency counters.
 
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crossbeam::channel;
 
 use crate::schedule::Schedule;
+
+/// Observation hooks for one executor run, called from the worker threads.
+///
+/// Implementations receive the executor's *actual* runtime events — not the
+/// static schedule — so an external checker (e.g. the happens-before race
+/// checker in `fastgr-analysis`) can verify that the synchronisation the
+/// executor really performed orders every pair of conflicting tasks. All
+/// methods default to no-ops; implementations must be cheap and must not
+/// call back into the executor.
+pub trait ExecutionHooks: Sync {
+    /// `task` is about to run on worker thread `worker`. Every event a
+    /// worker reports after this one happened after it in that worker's
+    /// program order.
+    fn on_task_start(&self, task: u32, worker: usize) {
+        let _ = (task, worker);
+    }
+
+    /// `task` finished running on worker thread `worker` (its `task_fn`
+    /// returned). Reported before any successor of `task` is released.
+    fn on_task_finish(&self, task: u32, worker: usize) {
+        let _ = (task, worker);
+    }
+
+    /// The completion of `pred` decremented the dependency counter of
+    /// `succ` — the executor's cross-thread synchronisation edge. `succ`
+    /// starts only after every one of its predecessors reported this edge.
+    fn on_handoff(&self, pred: u32, succ: u32) {
+        let _ = (pred, succ);
+    }
+}
+
+/// The default no-op hooks (zero observation overhead).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl ExecutionHooks for NoHooks {}
 
 /// Statistics from one executor run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,9 +132,32 @@ impl Executor {
     /// interior mutability (the schedule guarantees conflicting tasks never
     /// overlap, so per-net state needs no locking — only globally shared
     /// accumulators do).
+    ///
+    /// # Panics
+    ///
+    /// If `task_fn` panics for some task, the run shuts down (remaining
+    /// tasks are abandoned, in-flight tasks finish), all workers are
+    /// joined, and the first panic is re-raised on the calling thread —
+    /// a panicking task can never deadlock the pool.
     pub fn run<F>(&self, schedule: &Schedule, task_fn: F) -> ExecutorStats
     where
         F: Fn(u32) + Sync,
+    {
+        self.run_with_hooks(schedule, task_fn, &NoHooks)
+    }
+
+    /// [`Executor::run`] with observation [`ExecutionHooks`] — see the
+    /// trait docs for the event contract. Used by the happens-before race
+    /// checker in `fastgr-analysis`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `task_fn` (and from the hooks) exactly like
+    /// [`Executor::run`].
+    pub fn run_with_hooks<F, H>(&self, schedule: &Schedule, task_fn: F, hooks: &H) -> ExecutorStats
+    where
+        F: Fn(u32) + Sync,
+        H: ExecutionHooks,
     {
         let n = schedule.task_count();
         let start = Instant::now();
@@ -113,6 +174,8 @@ impl Executor {
             .map(|t| AtomicU32::new(schedule.in_degree(t)))
             .collect();
         let completed = AtomicUsize::new(0);
+        // First panic payload of any worker; later panics are dropped.
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let (tx, rx) = channel::unbounded::<u32>();
         for t in 0..n as u32 {
             if schedule.in_degree(t) == 0 {
@@ -121,19 +184,40 @@ impl Executor {
         }
 
         std::thread::scope(|scope| {
-            for _ in 0..self.workers {
+            for worker in 0..self.workers {
                 let rx = rx.clone();
                 let tx = tx.clone();
                 let pending = &pending;
                 let completed = &completed;
+                let panic_slot = &panic_slot;
                 let task_fn = &task_fn;
                 scope.spawn(move || {
                     while let Ok(t) = rx.recv() {
                         if t == SHUTDOWN {
                             break;
                         }
-                        task_fn(t);
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            hooks.on_task_start(t, worker);
+                            task_fn(t);
+                            hooks.on_task_finish(t, worker);
+                        }));
+                        if let Err(payload) = outcome {
+                            // Keep the first payload, wake every worker
+                            // (including this one's siblings blocked in
+                            // recv) and stop making progress: successors of
+                            // the failed task must not run.
+                            let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            drop(slot);
+                            for _ in 0..self.workers {
+                                tx.send(SHUTDOWN).expect("queue open");
+                            }
+                            break;
+                        }
                         for &s in schedule.successors(t) {
+                            hooks.on_handoff(t, s);
                             if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                 tx.send(s).expect("queue open");
                             }
@@ -147,6 +231,14 @@ impl Executor {
                 });
             }
         });
+
+        if let Some(payload) = panic_slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            std::panic::resume_unwind(payload);
+        }
 
         ExecutorStats {
             tasks: n,
@@ -257,5 +349,79 @@ mod tests {
     fn executor_reports_workers() {
         assert_eq!(Executor::new(3).workers(), 3);
         assert!(Executor::with_available_parallelism().workers() >= 1);
+    }
+
+    /// Regression (PR 2): a panicking task used to leave the other workers
+    /// blocked on the queue forever — `thread::scope` then deadlocked the
+    /// run instead of surfacing the panic.
+    #[test]
+    fn panicking_task_propagates_without_deadlock() {
+        let boxes: Vec<Rect> = (0..20).map(|i| rect(i * 2, 0, i * 2 + 3, 3)).collect();
+        let schedule = schedule_of(&boxes);
+        for workers in [1, 4] {
+            let result = std::panic::catch_unwind(|| {
+                Executor::new(workers).run(&schedule, |t| {
+                    if t == 7 {
+                        panic!("task 7 exploded");
+                    }
+                });
+            });
+            let payload = result.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "task 7 exploded", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn successors_of_a_panicked_task_never_run() {
+        // Chain 0 -> 1 -> 2: task 0 panics, so 1 and 2 must not execute.
+        let boxes = vec![rect(0, 0, 9, 9), rect(1, 1, 8, 8), rect(2, 2, 7, 7)];
+        let schedule = schedule_of(&boxes);
+        let ran = Mutex::new(Vec::new());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Executor::new(4).run(&schedule, |t| {
+                if t == 0 {
+                    panic!("root failed");
+                }
+                ran.lock().push(t);
+            });
+        }));
+        assert!(result.is_err());
+        assert!(ran.into_inner().is_empty(), "successors must be abandoned");
+    }
+
+    #[test]
+    fn hooks_observe_starts_finishes_and_handoffs() {
+        struct Recorder {
+            starts: AtomicUsize,
+            finishes: AtomicUsize,
+            handoffs: Mutex<Vec<(u32, u32)>>,
+        }
+        impl ExecutionHooks for Recorder {
+            fn on_task_start(&self, _task: u32, _worker: usize) {
+                self.starts.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_task_finish(&self, _task: u32, _worker: usize) {
+                self.finishes.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_handoff(&self, pred: u32, succ: u32) {
+                self.handoffs.lock().push((pred, succ));
+            }
+        }
+        let boxes = vec![rect(0, 0, 4, 4), rect(3, 3, 8, 8), rect(7, 7, 9, 9)];
+        let schedule = schedule_of(&boxes);
+        let recorder = Recorder {
+            starts: AtomicUsize::new(0),
+            finishes: AtomicUsize::new(0),
+            handoffs: Mutex::new(Vec::new()),
+        };
+        Executor::new(2).run_with_hooks(&schedule, |_| {}, &recorder);
+        assert_eq!(recorder.starts.load(Ordering::Relaxed), 3);
+        assert_eq!(recorder.finishes.load(Ordering::Relaxed), 3);
+        let mut handoffs = recorder.handoffs.into_inner();
+        handoffs.sort_unstable();
+        let mut expected: Vec<(u32, u32)> = schedule.edges().collect();
+        expected.sort_unstable();
+        assert_eq!(handoffs, expected, "one handoff per dependency edge");
     }
 }

@@ -119,6 +119,46 @@ impl Schedule {
         order
     }
 
+    /// Every oriented dependency edge `(predecessor, successor)`, each
+    /// conflict edge exactly once. The order is by predecessor, then by
+    /// ascending successor id.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.successors
+            .iter()
+            .enumerate()
+            .flat_map(|(t, succs)| succs.iter().map(move |&s| (t as u32, s)))
+    }
+
+    /// The execution frontiers of the DAG: level 0 holds every task with no
+    /// predecessors, level `k + 1` the tasks released once level `k`
+    /// completed (Kahn peeling). Tasks inside one level share no dependency
+    /// edge, so — with every conflict edge oriented — each level is an
+    /// independent set of the conflict graph. Within a level, tasks are in
+    /// ascending id order.
+    pub fn levels(&self) -> Vec<Vec<u32>> {
+        let n = self.task_count();
+        let mut in_deg = self.in_degree.clone();
+        let mut frontier: Vec<u32> = (0..n as u32).filter(|&t| in_deg[t as usize] == 0).collect();
+        let mut levels = Vec::new();
+        let mut done = 0usize;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &t in &frontier {
+                for &s in self.successors(t) {
+                    in_deg[s as usize] -= 1;
+                    if in_deg[s as usize] == 0 {
+                        next.push(s);
+                    }
+                }
+            }
+            done += frontier.len();
+            next.sort_unstable();
+            levels.push(std::mem::replace(&mut frontier, next));
+        }
+        debug_assert_eq!(done, n, "schedule is a DAG by construction");
+        levels
+    }
+
     /// Total work and critical-path span for per-task `costs` (seconds, or
     /// any additive unit). The span is what an ideal parallel machine
     /// achieves; `work / span` bounds the parallel speedup of the schedule.
@@ -326,6 +366,25 @@ mod tests {
     }
 
     #[test]
+    fn edges_list_every_dependency_once() {
+        let s = schedule_of(&[rect(0, 0, 4, 4), rect(3, 3, 8, 8), rect(7, 7, 9, 9)]);
+        let edges: Vec<(u32, u32)> = s.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn levels_are_kahn_frontiers() {
+        // 0 and 2 independent (root batch), 1 conflicts with both.
+        let s = schedule_of(&[rect(0, 0, 4, 4), rect(3, 3, 8, 8), rect(7, 7, 9, 9)]);
+        assert_eq!(s.levels(), vec![vec![0, 2], vec![1]]);
+        // A full chain peels one task per level.
+        let chain = schedule_of(&[rect(0, 0, 9, 9), rect(1, 1, 8, 8), rect(2, 2, 7, 7)]);
+        assert_eq!(chain.levels(), vec![vec![0], vec![1], vec![2]]);
+        // Empty schedule: no levels.
+        assert!(schedule_of(&[]).levels().is_empty());
+    }
+
+    #[test]
     fn empty_schedule_is_fine() {
         let s = schedule_of(&[]);
         assert_eq!(s.task_count(), 0);
@@ -356,6 +415,22 @@ mod tests {
                 .map(|t| s.successors(t).len())
                 .sum();
             prop_assert_eq!(edges, conflicts.edge_count());
+            prop_assert_eq!(s.edges().count(), conflicts.edge_count());
+
+            // Levels partition the tasks and never split a dependency edge
+            // into the same level.
+            let levels = s.levels();
+            let mut level_of = vec![usize::MAX; s.task_count()];
+            for (k, level) in levels.iter().enumerate() {
+                for &t in level {
+                    prop_assert_eq!(level_of[t as usize], usize::MAX);
+                    level_of[t as usize] = k;
+                }
+            }
+            prop_assert!(level_of.iter().all(|&k| k != usize::MAX));
+            for (a, b) in s.edges() {
+                prop_assert!(level_of[a as usize] < level_of[b as usize]);
+            }
 
             // Span <= work and simulated 1-worker time == work.
             let costs: Vec<f64> = (0..s.task_count()).map(|i| 1.0 + (i % 3) as f64).collect();

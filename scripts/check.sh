@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local gate, mirroring CI: build, tests, clippy, and the
+# fastgr-analysis correctness checks (`cargo xtask check` — workspace lint
+# pass, static schedule validation, happens-before race check, mutation
+# sweep). Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q
+
+echo "== test (workspace) =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== xtask check =="
+cargo xtask check
+
+echo "All checks passed."

@@ -1,0 +1,233 @@
+//! `cargo xtask` — the workspace's correctness-check driver.
+//!
+//! Subcommands (see DESIGN.md §5):
+//!
+//! * `cargo xtask lint` — the `fastgr-analysis` workspace lint pass
+//!   (forbid-unsafe everywhere, no hot-path `unwrap`/`expect`, zero-alloc
+//!   DP bodies) against `lint-allow.txt`;
+//! * `cargo xtask validate` — builds schedules over the design-suite nets
+//!   and proves them sound with the static validator, replays them under
+//!   the happens-before race checker, and routes one design end to end
+//!   with `RouterConfig::validate` on;
+//! * `cargo xtask mutation` — corrupts real schedules (reversed conflict
+//!   edge, merged conflicting batch, forced unordered execution) and
+//!   demands the checkers reject every corruption;
+//! * `cargo xtask check` — all of the above; what CI runs.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fastgr_analysis::{
+    lint_workspace, validate_batches, validate_schedule, validate_view, RaceChecker, ScheduleView,
+};
+use fastgr_core::{Router, RouterConfig};
+use fastgr_design::{Design, Generator, GeneratorParams};
+use fastgr_grid::Rect;
+use fastgr_taskgraph::{extract_batches, ConflictGraph, ExecutionHooks, Executor, Schedule};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("check");
+    let ok = match cmd {
+        "lint" => lint(),
+        "validate" => validate(),
+        "mutation" => mutation(),
+        "check" => {
+            let mut ok = lint();
+            ok &= validate();
+            ok &= mutation();
+            ok
+        }
+        "help" | "--help" | "-h" => {
+            println!("usage: cargo xtask [check|lint|validate|mutation]");
+            true
+        }
+        other => {
+            eprintln!("xtask: unknown subcommand `{other}` (try `cargo xtask help`)");
+            false
+        }
+    };
+    if ok {
+        println!("xtask {cmd}: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask {cmd}: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: xtask runs via `cargo xtask`, so the manifest dir of
+/// this package *is* the root.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The nets every schedule-level check runs over: a few tiny seeds plus two
+/// mid-size congested designs.
+fn design_suite() -> Vec<Design> {
+    let mut designs: Vec<Design> = [1u64, 7, 42]
+        .iter()
+        .map(|&s| Generator::tiny(s).generate())
+        .collect();
+    for (nets, seed) in [(200usize, 9u64), (400, 33)] {
+        designs.push(
+            Generator::new(GeneratorParams {
+                name: format!("xtask-{nets}"),
+                width: 32,
+                height: 32,
+                layers: 5,
+                num_nets: nets,
+                capacity: 4.0,
+                hotspots: 3,
+                hotspot_affinity: 0.4,
+                blockages: 2,
+                seed,
+            })
+            .generate(),
+        );
+    }
+    designs
+}
+
+/// Conflict graph + identity order, as the pattern stage derives them.
+fn conflicts_of(design: &Design) -> (ConflictGraph, Vec<u32>) {
+    let bboxes: Vec<Rect> = design.nets().iter().map(|n| n.bounding_box()).collect();
+    let order: Vec<u32> = (0..bboxes.len() as u32).collect();
+    (ConflictGraph::from_bounding_boxes(&bboxes), order)
+}
+
+fn lint() -> bool {
+    let report = lint_workspace(workspace_root());
+    println!("lint: {report}");
+    report.is_clean()
+}
+
+fn validate() -> bool {
+    let mut ok = true;
+    for design in design_suite() {
+        let (conflicts, order) = conflicts_of(&design);
+        let schedule = Schedule::build(&order, &conflicts);
+
+        let report = validate_schedule(&schedule, &conflicts);
+        println!("validate {} schedule: {report}", design.name());
+        ok &= report.is_clean();
+
+        let batches = extract_batches(&order, &conflicts);
+        let report = validate_batches(&batches, &conflicts);
+        println!("validate {} batches: {report}", design.name());
+        ok &= report.is_clean();
+
+        let checker = RaceChecker::new(schedule.task_count());
+        Executor::new(4).run_with_hooks(&schedule, |_t| {}, &checker);
+        let report = checker.report(&conflicts);
+        println!("validate {} execution: {report}", design.name());
+        ok &= report.is_clean();
+    }
+
+    // One end-to-end routing run with the inline validator armed: panics
+    // (and fails the task) if any stage builds an unsound schedule.
+    let design = Generator::tiny(4).generate();
+    let config = RouterConfig {
+        validate: true,
+        ..RouterConfig::fastgr_l()
+    };
+    match Router::new(config).run(&design) {
+        Ok(outcome) => println!(
+            "validate end-to-end: {} nets routed, score {:.1}",
+            outcome.routes.len(),
+            outcome.metrics.score()
+        ),
+        Err(e) => {
+            eprintln!("validate end-to-end: routing failed: {e}");
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Runs one mutation case: `mutate` corrupts something derived from the
+/// design and returns whether the corruption was *rejected*.
+fn mutation_case(name: &str, rejected: bool, ok: &mut bool) {
+    if rejected {
+        println!("mutation {name}: rejected (good)");
+    } else {
+        eprintln!("mutation {name}: NOT rejected — checker is blind to this corruption");
+        *ok = false;
+    }
+}
+
+fn mutation() -> bool {
+    let mut ok = true;
+    for design in design_suite() {
+        let (conflicts, order) = conflicts_of(&design);
+        let schedule = Schedule::build(&order, &conflicts);
+        let name = design.name();
+        let first_edge = schedule.edges().next();
+
+        // 1. Reverse one oriented conflict edge.
+        if let Some((a, b)) = first_edge {
+            let mut view = ScheduleView::from_schedule(&schedule);
+            view.reverse_edge(a, b);
+            mutation_case(
+                &format!("{name} reversed-edge {a}->{b}"),
+                !validate_view(&view, &conflicts).is_clean(),
+                &mut ok,
+            );
+        } else {
+            eprintln!("mutation {name}: no conflict edges to mutate");
+            ok = false;
+        }
+
+        // 2. Drop one dependency edge (the conflict goes unoriented and the
+        //    two frontiers merge).
+        if let Some((a, b)) = first_edge {
+            let mut view = ScheduleView::from_schedule(&schedule);
+            view.drop_edge(a, b);
+            mutation_case(
+                &format!("{name} dropped-edge {a}->{b}"),
+                !validate_view(&view, &conflicts).is_clean(),
+                &mut ok,
+            );
+        }
+
+        // 3. Merge two conflicting batches (the root batch is maximal, so
+        //    merging any later batch into it must violate independence).
+        let mut batches = extract_batches(&order, &conflicts);
+        if batches.len() >= 2 {
+            let merged = batches.remove(1);
+            batches[0].extend(merged);
+            mutation_case(
+                &format!("{name} merged-batches"),
+                !validate_batches(&batches, &conflicts).is_clean(),
+                &mut ok,
+            );
+        } else {
+            eprintln!("mutation {name}: fewer than two batches");
+            ok = false;
+        }
+
+        // 4. Force an unordered execution of two conflicting tasks.
+        if let Some((a, b)) = first_edge {
+            let checker = RaceChecker::new(schedule.task_count());
+            for t in 0..schedule.task_count() as u32 {
+                if t == a || t == b {
+                    continue;
+                }
+                checker.on_task_start(t, 0);
+                checker.on_task_finish(t, 0);
+            }
+            checker.on_task_start(a, 1);
+            checker.on_task_finish(a, 1);
+            checker.on_task_start(b, 2);
+            checker.on_task_finish(b, 2);
+            mutation_case(
+                &format!("{name} unordered-race {a}/{b}"),
+                !checker.report(&conflicts).is_clean(),
+                &mut ok,
+            );
+        }
+    }
+    ok
+}

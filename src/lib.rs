@@ -12,7 +12,9 @@
 //! * [`core`] — the FastGR router itself (pattern stage + RRR + scoring),
 //! * [`dr`] — the Dr.CU-substitute detailed router used for evaluation,
 //! * [`viz`] — SVG rendering of routes and congestion maps,
-//! * [`assign`] — the classic 2-D + layer-assignment alternative flow.
+//! * [`assign`] — the classic 2-D + layer-assignment alternative flow,
+//! * [`analysis`] — schedule soundness validator, happens-before race
+//!   checker and the workspace lint pass (`cargo xtask check`).
 //!
 //! # Quickstart
 //!
@@ -29,6 +31,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use fastgr_analysis as analysis;
 pub use fastgr_assign as assign;
 pub use fastgr_core as core;
 pub use fastgr_design as design;
