@@ -1,6 +1,6 @@
 //! Workspace lint pass: text/AST-lite rules the compiler does not enforce.
 //!
-//! Three rules, each scoped to where it matters:
+//! Four rules, each scoped to where it matters:
 //!
 //! 1. **`missing-forbid-unsafe`** — every crate root (`src/lib.rs` of the
 //!    facade, every `crates/*` member and every `shims/*` member) must
@@ -17,6 +17,13 @@
 //!    inside every `fn *_into` of `core::dp` no allocating call
 //!    (`Vec::new`, `vec!`, `with_capacity`, `collect`, `Box::new`,
 //!    `format!`, …) and no `Mutex` may appear.
+//! 4. **`timing-instant`** — no `Instant::now()` outside
+//!    `crates/telemetry` (the `fastgr-telemetry::Stopwatch` clock).
+//!    Every crate measures wall time through the one clock, so reported
+//!    seconds are mutually comparable and the telemetry layer is the
+//!    single place timestamps originate. Scope: the facade `src/` and
+//!    every `crates/*/src/` except the telemetry crate (shims keep their
+//!    own clocks — they substitute external crates).
 //!
 //! The scanner strips line/block comments and string-literal contents, and
 //! skips `#[cfg(test)] mod` bodies by brace tracking, so doc examples and
@@ -110,14 +117,23 @@ pub fn lint_workspace(root: &Path) -> ValidationReport {
         }
     }
 
-    // --- Rules 2 and 3 over the hot-path module set. ---
+    // --- Rules 2–4 over per-file rule sets. Rule 4 scans every crate
+    // except the telemetry crate (which owns the clock); rules 2 and 3
+    // additionally apply on the hot-path subset.
     let mut hot: Vec<PathBuf> = vec![
         root.join("crates/core/src/dp.rs"),
         root.join("crates/core/src/pattern.rs"),
     ];
     hot.extend(list_rust_files(&root.join("crates/gpu/src")));
     hot.extend(list_rust_files(&root.join("crates/taskgraph/src")));
-    for file in &hot {
+    let mut files = list_rust_files(&root.join("src"));
+    for dir in list_dirs(&root.join("crates")) {
+        if dir.file_name().is_some_and(|n| n == "telemetry") {
+            continue;
+        }
+        files.extend(list_rust_files(&dir.join("src")));
+    }
+    for file in &files {
         let rel = rel_path(root, file);
         let text = match fs::read_to_string(file) {
             Ok(text) => text,
@@ -127,8 +143,12 @@ pub fn lint_workspace(root: &Path) -> ValidationReport {
             }
         };
         report.tasks_checked += 1;
-        let dp_rule = rel.ends_with("core/src/dp.rs");
-        lint_file(&text, &rel, dp_rule, &allowlist, &mut used, &mut report);
+        let rules = Rules {
+            hot: hot.contains(file),
+            dp: rel.ends_with("core/src/dp.rs"),
+            timing: true,
+        };
+        lint_file(&text, &rel, rules, &allowlist, &mut used, &mut report);
     }
 
     for (entry, &was_used) in allowlist.iter().zip(used.iter()) {
@@ -148,11 +168,23 @@ pub fn lint_workspace(root: &Path) -> ValidationReport {
     report
 }
 
-/// Scans one hot-path file for rules 2 (and 3 when `dp_rule`).
+/// Which per-file rules apply to a scanned file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rules {
+    /// Rule 2: hot-path `.unwrap()` / `.expect(` ban.
+    pub hot: bool,
+    /// Rule 3: zero-alloc `fn *_into` DP body ban.
+    pub dp: bool,
+    /// Rule 4: `Instant::now` ban (timing goes through the telemetry
+    /// crate's `Stopwatch`).
+    pub timing: bool,
+}
+
+/// Scans one file for whichever of rules 2–4 `rules` enables.
 fn lint_file(
     text: &str,
     rel: &str,
-    dp_rule: bool,
+    rules: Rules,
     allowlist: &[AllowEntry],
     used: &mut [bool],
     report: &mut ValidationReport,
@@ -215,7 +247,7 @@ fn lint_file(
             if into_depth <= 0 {
                 into_depth = 0;
             }
-        } else if dp_rule && declares_into_fn(&code) {
+        } else if rules.dp && declares_into_fn(&code) {
             into_depth = opens - closes;
             if into_depth <= 0 {
                 into_depth = 0;
@@ -224,24 +256,46 @@ fn lint_file(
         }
 
         // Rule 2: no unwrap/expect on the hot path.
-        for (needle, rule) in [(".unwrap()", "hot-path-unwrap"), (".expect(", "hot-path-expect")] {
-            if code.contains(needle) {
-                push_allowed(
-                    report,
-                    allowlist,
-                    used,
-                    Diagnostic::error(
-                        rule,
-                        format!("{rel}:{line_no}: `{needle}` in a hot-path module"),
-                    ),
-                    rel,
-                    raw,
-                );
+        if rules.hot {
+            for (needle, rule) in
+                [(".unwrap()", "hot-path-unwrap"), (".expect(", "hot-path-expect")]
+            {
+                if code.contains(needle) {
+                    push_allowed(
+                        report,
+                        allowlist,
+                        used,
+                        Diagnostic::error(
+                            rule,
+                            format!("{rel}:{line_no}: `{needle}` in a hot-path module"),
+                        ),
+                        rel,
+                        raw,
+                    );
+                }
             }
         }
 
+        // Rule 4: one wall-clock source for the whole workspace.
+        if rules.timing && code.contains("Instant::now") {
+            push_allowed(
+                report,
+                allowlist,
+                used,
+                Diagnostic::error(
+                    "timing-instant",
+                    format!(
+                        "{rel}:{line_no}: `Instant::now` outside fastgr-telemetry \
+                         (time through `fastgr_telemetry::Stopwatch`)"
+                    ),
+                ),
+                rel,
+                raw,
+            );
+        }
+
         // Rule 3: no allocation / locking inside the zero-alloc DP body.
-        if dp_rule && (into_depth > 0 || seen_into_open) {
+        if rules.dp && (into_depth > 0 || seen_into_open) {
             const MARKERS: &[&str] = &[
                 "Vec::new",
                 "vec!",
@@ -508,7 +562,8 @@ mod tests {\n\
     fn t() { Some(1).unwrap(); Some(2).expect(\"fine in tests\"); }\n\
 }\n";
         let mut report = ValidationReport::default();
-        lint_file(src, "x.rs", false, &[], &mut [], &mut report);
+        let rules = Rules { hot: true, ..Rules::default() };
+        lint_file(src, "x.rs", rules, &[], &mut [], &mut report);
         assert_eq!(report.error_count(), 1, "{report}");
         assert!(report.diagnostics[0].message.contains("x.rs:3"));
     }
@@ -525,10 +580,37 @@ pub fn route_net_into(&mut self, out: &mut Vec<u32>) {\n\
 }\n\
 pub fn after() { let v = vec![1]; }\n";
         let mut report = ValidationReport::default();
-        lint_file(src, "crates/core/src/dp.rs", true, &[], &mut [], &mut report);
-        let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
-        assert_eq!(rules, vec!["dp-alloc"], "{report}");
+        let rules = Rules { hot: true, dp: true, ..Rules::default() };
+        lint_file(src, "crates/core/src/dp.rs", rules, &[], &mut [], &mut report);
+        let fired: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(fired, vec!["dp-alloc"], "{report}");
         assert!(report.diagnostics[0].message.contains(":5:"));
+    }
+
+    #[test]
+    fn timing_rule_flags_instant_outside_tests_and_comments() {
+        let src = "\
+//! Doc: Instant::now() here is fine.\n\
+use std::time::Instant;\n\
+pub fn measure() -> f64 {\n\
+    let t0 = Instant::now();\n\
+    t0.elapsed().as_secs_f64()\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { let _ = std::time::Instant::now(); }\n\
+}\n";
+        let mut report = ValidationReport::default();
+        let rules = Rules { timing: true, ..Rules::default() };
+        lint_file(src, "crates/core/src/router.rs", rules, &[], &mut [], &mut report);
+        assert_eq!(report.error_count(), 1, "{report}");
+        assert_eq!(report.diagnostics[0].rule, "timing-instant");
+        assert!(report.diagnostics[0].message.contains(":4:"), "{report}");
+        // The same file with the rule off is clean.
+        let mut off = ValidationReport::default();
+        lint_file(src, "x.rs", Rules::default(), &[], &mut [], &mut off);
+        assert!(off.is_clean(), "{off}");
     }
 
     #[test]
@@ -537,7 +619,8 @@ pub fn after() { let v = vec![1]; }\n";
         let allow = parse_allowlist("hot-path-expect x.rs expect(\"queue open\")");
         let mut used = vec![false];
         let mut report = ValidationReport::default();
-        lint_file(src, "x.rs", false, &allow, &mut used, &mut report);
+        let rules = Rules { hot: true, ..Rules::default() };
+        lint_file(src, "x.rs", rules, &allow, &mut used, &mut report);
         assert!(report.is_clean(), "{report}");
         assert!(used[0]);
     }

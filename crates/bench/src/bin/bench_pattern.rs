@@ -3,11 +3,13 @@
 //! `BENCH_pattern.json`).
 //!
 //! ```text
-//! bench_pattern [--full] [--out PATH] [--workers N]
+//! bench_pattern [--full] [--out PATH] [--workers N] [--trace PATH]
 //!
 //! --full:      run the whole 12-benchmark suite (default: 4 smallest)
 //! --out PATH:  where to write the JSON snapshot (default: BENCH_pattern.json)
 //! --workers N: parallel worker count (default: FASTGR_WORKERS / all cores)
+//! --trace PATH: record the parallel runs and write a Chrome trace_event
+//!               profile (load in Perfetto / chrome://tracing)
 //! ```
 //!
 //! Each benchmark routes twice with the GPU-flow engine: once with one
@@ -23,6 +25,7 @@ use std::process::ExitCode;
 use fastgr_core::{PatternEngine, PatternMode, PatternOutcome, PatternStage, SortingScheme};
 use fastgr_design::{suite, BenchmarkSpec};
 use fastgr_gpu::{DeviceConfig, HostPool};
+use fastgr_telemetry::Recorder;
 
 struct Row {
     name: &'static str,
@@ -32,7 +35,7 @@ struct Row {
     modeled_seconds: f64,
 }
 
-fn run_once(spec: &BenchmarkSpec, workers: usize) -> PatternOutcome {
+fn run_once(spec: &BenchmarkSpec, workers: usize, recorder: &Recorder) -> PatternOutcome {
     let design = spec.generate();
     let mut graph = design
         .build_graph(fastgr_grid::CostParams::default())
@@ -47,12 +50,15 @@ fn run_once(spec: &BenchmarkSpec, workers: usize) -> PatternOutcome {
         congestion_aware_planning: false,
         validate: false,
     };
-    stage.run(&design, &mut graph).expect("suite designs route")
+    stage
+        .run_traced(&design, &mut graph, recorder)
+        .expect("suite designs route")
 }
 
 fn main() -> ExitCode {
     let mut full = false;
     let mut out_path = String::from("BENCH_pattern.json");
+    let mut trace_path: Option<String> = None;
     let mut workers = 0usize;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +71,13 @@ fn main() -> ExitCode {
                 };
                 out_path = path;
             }
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace needs a path");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(path);
+            }
             "--workers" => {
                 let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0)
                 else {
@@ -74,7 +87,10 @@ fn main() -> ExitCode {
                 workers = n;
             }
             other => {
-                eprintln!("usage: bench_pattern [--full] [--out PATH] [--workers N] (got {other})");
+                eprintln!(
+                    "usage: bench_pattern [--full] [--out PATH] [--workers N] [--trace PATH] \
+                     (got {other})"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -90,10 +106,18 @@ fn main() -> ExitCode {
         specs.truncate(4);
     }
 
+    // Only the parallel runs are recorded: the serial legs stay untouched
+    // so their wall-clock is comparable with historical snapshots.
+    let recorder = if trace_path.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+
     let mut rows = Vec::with_capacity(specs.len());
     for spec in &specs {
-        let serial = run_once(spec, 1);
-        let parallel = run_once(spec, workers);
+        let serial = run_once(spec, 1, &Recorder::disabled());
+        let parallel = run_once(spec, workers, &recorder);
         assert_eq!(
             serial.routes, parallel.routes,
             "{}: geometry diverged across worker counts",
@@ -163,5 +187,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
+
+    if let Some(path) = trace_path {
+        let trace = recorder.take_trace();
+        if let Err(e) = std::fs::write(&path, trace.to_chrome_trace_json()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote trace to {path} ({} spans, {} kernel events)",
+            trace.spans().len(),
+            trace.kernels().len()
+        );
+    }
     ExitCode::SUCCESS
 }

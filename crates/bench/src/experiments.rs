@@ -147,10 +147,9 @@ pub fn table5(quick: bool) -> String {
         let spec = BenchmarkSpec::find(name).expect("suite benchmark");
         let design = spec.generate();
         for scheme in SortingScheme::ALL {
-            let mut config = RouterConfig::fastgr_l();
             // Scheme swapped in the RRR stage only: route the pattern stage
             // with the default, then re-sort the rip-up set.
-            config.rrr_sorting = Some(scheme);
+            let config = RouterConfig::fastgr_l().with_rrr_sorting(scheme);
             let o = Router::new(config).run(&design).expect("routable");
             rows.push(vec![
                 name.to_string(),
@@ -182,8 +181,8 @@ pub fn fig12() -> String {
 
     let mut rows = Vec::new();
     for t2 in (10..=100).step_by(10) {
-        let mut config = RouterConfig::fastgr_h();
-        config.pattern_mode = fastgr_core::PatternMode::Hybrid(SelectionThresholds::new(4, t2));
+        let config = RouterConfig::fastgr_h()
+            .with_pattern_mode(fastgr_core::PatternMode::Hybrid(SelectionThresholds::new(4, t2)));
         let o = Router::new(config).run(&design).expect("routable");
         rows.push(vec![
             t2.to_string(),
@@ -215,8 +214,8 @@ pub fn table6(quick: bool) -> String {
         let without = Router::new(RouterConfig::fastgr_h_no_selection())
             .run(&design)
             .expect("routable");
-        let rip_with = *with.nets_ripped.first().unwrap_or(&0) as f64;
-        let rip_without = *without.nets_ripped.first().unwrap_or(&0) as f64;
+        let rip_with = *with.trace.nets_ripped().first().unwrap_or(&0) as f64;
+        let rip_without = *without.trace.nets_ripped().first().unwrap_or(&0) as f64;
         pattern_speedups
             .push(without.timings.pattern_seconds / with.timings.pattern_seconds.max(1e-12));
         total_speedups
@@ -315,7 +314,7 @@ pub fn table8_from(results: &[VariantOutcomes]) -> String {
     let mut l_rip_change = Vec::new();
     let mut h_rip_change = Vec::new();
     for r in results {
-        let rip = |o: &RoutingOutcome| *o.nets_ripped.first().unwrap_or(&0);
+        let rip = |o: &RoutingOutcome| *o.trace.nets_ripped().first().unwrap_or(&0);
         l_kernel
             .push(r.cugr.timings.pattern_seconds / r.fastgr_l.timings.pattern_seconds.max(1e-12));
         h_kernel
@@ -388,8 +387,9 @@ pub fn table9_from(results: &[VariantOutcomes]) -> String {
         if ml.shorts >= 1.0 {
             shorts_improvements.push(1.0 - mh.shorts / ml.shorts);
         }
-        if r.fastgr_l.pattern_shorts >= 1.0 {
-            pattern_improvements.push(1.0 - r.fastgr_h.pattern_shorts / r.fastgr_l.pattern_shorts);
+        if r.fastgr_l.trace.pattern_shorts() >= 1.0 {
+            pattern_improvements
+                .push(1.0 - r.fastgr_h.trace.pattern_shorts() / r.fastgr_l.trace.pattern_shorts());
         }
         rows.push(vec![
             r.spec.name.to_string(),
@@ -397,8 +397,8 @@ pub fn table9_from(results: &[VariantOutcomes]) -> String {
             mh.wirelength.to_string(),
             ml.vias.to_string(),
             mh.vias.to_string(),
-            format!("{:.1}", r.fastgr_l.pattern_shorts),
-            format!("{:.1}", r.fastgr_h.pattern_shorts),
+            format!("{:.1}", r.fastgr_l.trace.pattern_shorts()),
+            format!("{:.1}", r.fastgr_h.trace.pattern_shorts()),
             format!("{:.1}", ml.shorts),
             format!("{:.1}", mh.shorts),
             format!("{:.0}", ml.score()),
@@ -406,8 +406,8 @@ pub fn table9_from(results: &[VariantOutcomes]) -> String {
         ]);
     }
     let sum = |f: &dyn Fn(&VariantOutcomes) -> f64| -> f64 { results.iter().map(f).sum() };
-    let pat_l = sum(&|r| r.fastgr_l.pattern_shorts);
-    let pat_h = sum(&|r| r.fastgr_h.pattern_shorts);
+    let pat_l = sum(&|r| r.fastgr_l.trace.pattern_shorts());
+    let pat_h = sum(&|r| r.fastgr_h.trace.pattern_shorts());
     let fin_l = sum(&|r| r.fastgr_l.metrics.shorts);
     let fin_h = sum(&|r| r.fastgr_h.metrics.shorts);
     format!(
@@ -498,8 +498,8 @@ pub fn summary_from(results: &[VariantOutcomes]) -> String {
         .collect();
     let pattern_shorts: Vec<f64> = results
         .iter()
-        .filter(|r| r.fastgr_l.pattern_shorts >= 1.0)
-        .map(|r| 1.0 - r.fastgr_h.pattern_shorts / r.fastgr_l.pattern_shorts)
+        .filter(|r| r.fastgr_l.trace.pattern_shorts() >= 1.0)
+        .map(|r| 1.0 - r.fastgr_h.trace.pattern_shorts() / r.fastgr_l.trace.pattern_shorts())
         .collect();
     format!(
         "Headline numbers (measured vs paper)\n\
@@ -545,50 +545,45 @@ pub fn ablations() -> String {
 
     // Pattern candidate sets.
     run_cfg("l-shape", RouterConfig::fastgr_l());
-    run_cfg("z-shape only", {
-        let mut c = RouterConfig::fastgr_l();
-        c.pattern_mode = PatternMode::ZShape;
-        c
-    });
+    run_cfg(
+        "z-shape only",
+        RouterConfig::fastgr_l().with_pattern_mode(PatternMode::ZShape),
+    );
     run_cfg("hybrid+selection", RouterConfig::fastgr_h());
     run_cfg("hybrid all", RouterConfig::fastgr_h_no_selection());
 
     // Edge shifting / Steinerisation off (raw MST trees).
-    run_cfg("no edge shifting", {
-        let mut c = RouterConfig::fastgr_l();
-        c.steiner_passes = 0;
-        c
-    });
+    run_cfg(
+        "no edge shifting",
+        RouterConfig::fastgr_l().with_steiner_passes(0),
+    );
 
     // Plain Dijkstra in the rip-up-and-reroute maze.
-    run_cfg("maze dijkstra", {
-        let mut c = RouterConfig::fastgr_l();
-        c.maze = MazeConfig {
+    run_cfg(
+        "maze dijkstra",
+        RouterConfig::fastgr_l().with_maze(MazeConfig {
             astar: false,
             ..MazeConfig::default()
-        };
-        c
-    });
+        }),
+    );
 
     // RUDY-guided congestion-aware edge shifting in planning.
-    run_cfg("rudy planning", {
-        let mut c = RouterConfig::fastgr_l();
-        c.congestion_aware_planning = true;
-        c
-    });
+    run_cfg(
+        "rudy planning",
+        RouterConfig::fastgr_l().with_congestion_aware_planning(true),
+    );
 
     // Negotiated congestion (history cost), an extension beyond the paper.
-    run_cfg("history cost", {
-        let mut c = RouterConfig::fastgr_l();
-        c.history_increment = 4.0;
-        c
-    });
-    run_cfg("history + 8 iters", {
-        let mut c = RouterConfig::fastgr_l();
-        c.history_increment = 4.0;
-        c.rrr_iterations = 8;
-        c
-    });
+    run_cfg(
+        "history cost",
+        RouterConfig::fastgr_l().with_history_increment(4.0),
+    );
+    run_cfg(
+        "history + 8 iters",
+        RouterConfig::fastgr_l()
+            .with_history_increment(4.0)
+            .with_rrr_iterations(8),
+    );
 
     // The classic 2-D + layer-assignment flow (fastgr-assign) as the
     // pattern stage, followed by the same RRR iterations — measures what
@@ -597,12 +592,12 @@ pub fn ablations() -> String {
         use fastgr_assign::TwoDFlow;
         use fastgr_core::{RrrStage, RrrStrategy};
         use fastgr_grid::CostParams;
-        let t0 = std::time::Instant::now();
+        let t0 = fastgr_telemetry::Stopwatch::start();
         let mut graph = design.build_graph(CostParams::default()).expect("valid");
         let mut routes = TwoDFlow::new()
             .run(&design, &mut graph)
             .expect("assignable");
-        let pattern_secs = t0.elapsed().as_secs_f64();
+        let pattern_secs = t0.elapsed_seconds();
         let rrr = RrrStage {
             iterations: 3,
             strategy: RrrStrategy::TaskGraph,

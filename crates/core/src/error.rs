@@ -79,6 +79,43 @@ mod tests {
     }
 
     #[test]
+    fn grid_variant_wraps_source() {
+        let grid_err = GridError::InvalidDimensions {
+            width: 0,
+            height: 0,
+            layers: 0,
+        };
+        let e = RouteError::from(grid_err.clone());
+        assert_eq!(e, RouteError::Grid(grid_err.clone()));
+        let source = e.source().expect("grid errors carry a source");
+        assert_eq!(source.to_string(), grid_err.to_string());
+        assert!(e.to_string().contains("grid error"));
+    }
+
+    #[test]
+    fn question_mark_converts_both_sources() {
+        // `?` must lift stage errors without manual mapping.
+        fn from_grid() -> Result<(), RouteError> {
+            Err(GridError::InvalidDimensions {
+                width: 1,
+                height: 1,
+                layers: 1,
+            })?
+        }
+        fn from_maze() -> Result<(), RouteError> {
+            Err(MazeError::EmptyNet)?
+        }
+        assert!(matches!(from_grid(), Err(RouteError::Grid(_))));
+        assert!(matches!(from_maze(), Err(RouteError::Maze(_))));
+    }
+
+    #[test]
+    fn leaf_variants_have_no_source() {
+        assert!(RouteError::TooFewLayers { layers: 2 }.source().is_none());
+        assert!(RouteError::NoFinitePattern { net: 7 }.source().is_none());
+    }
+
+    #[test]
     fn layer_error_mentions_requirement() {
         let e = RouteError::TooFewLayers { layers: 2 };
         assert!(e.to_string().contains("at least 3"));

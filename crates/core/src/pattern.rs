@@ -12,13 +12,13 @@
 //! for every worker count.
 
 use std::sync::OnceLock;
-use std::time::Instant;
 
 use fastgr_design::Design;
 use fastgr_gpu::{Device, DeviceConfig, HostPool, SyncSlots};
 use fastgr_grid::{GridGraph, Rect, Route};
 use fastgr_steiner::{RouteTree, SteinerBuilder};
 use fastgr_taskgraph::{extract_batches, ConflictGraph};
+use fastgr_telemetry::{Recorder, Stopwatch};
 
 use crate::dp::{PatternDp, PatternMode};
 use crate::error::RouteError;
@@ -131,6 +131,19 @@ impl PatternStage {
         design: &Design,
         graph: &mut GridGraph,
     ) -> Result<PatternOutcome, RouteError> {
+        self.run_traced(design, graph, &Recorder::disabled())
+    }
+
+    /// [`PatternStage::run`] reporting into a telemetry recorder: one
+    /// `planning` and one `pattern` stage span, per-kernel events from the
+    /// simulated device (GPU engine), and `pattern.*` counters. With a
+    /// disabled recorder this is exactly [`PatternStage::run`].
+    pub fn run_traced(
+        &self,
+        design: &Design,
+        graph: &mut GridGraph,
+        recorder: &Recorder,
+    ) -> Result<PatternOutcome, RouteError> {
         if graph.num_layers() < 3 {
             return Err(RouteError::TooFewLayers {
                 layers: graph.num_layers(),
@@ -146,7 +159,8 @@ impl PatternStage {
         };
 
         // --- Planning: Steiner trees, ordering, batch extraction. ---
-        let plan_start = Instant::now();
+        let plan_span = recorder.span("planning", "stage");
+        let plan_start = Stopwatch::start();
         let mut builder = SteinerBuilder::new().with_passes(self.steiner_passes);
         if self.congestion_aware_planning {
             builder = builder.with_density(
@@ -165,16 +179,21 @@ impl PatternStage {
             fastgr_analysis::validate_batches(&batches, &conflicts)
                 .assert_clean("pattern stage batch extraction");
         }
-        let planning_seconds = plan_start.elapsed().as_secs_f64();
+        let planning_seconds = plan_start.elapsed_seconds();
+        plan_span.finish();
+        recorder.accumulate("pattern.nets", nets.len() as f64);
+        recorder.accumulate("pattern.batches", batches.len() as f64);
 
         // --- Routing. ---
-        let route_start = Instant::now();
+        let route_span = recorder.span("pattern", "stage");
+        let route_start = Stopwatch::start();
         let mut routes: Vec<Route> = vec![Route::new(); design.nets().len()];
         let mut modeled_gpu_seconds = None;
 
         match self.engine {
             PatternEngine::GpuFlow(device_config) => {
                 let mut device = Device::new(device_config);
+                device.set_recorder(recorder.clone());
                 for batch in &batches {
                     // One block per multi-pin net of the batch; blocks run
                     // concurrently on the device's host pool, each writing
@@ -209,6 +228,7 @@ impl PatternStage {
                         graph.commit(&routes[net_id as usize])?;
                     }
                 }
+                recorder.accumulate("pattern.kernel_launches", device.stats().launches as f64);
                 modeled_gpu_seconds = Some(device.stats().modeled_seconds);
             }
             PatternEngine::SequentialCpu => {
@@ -266,7 +286,8 @@ impl PatternStage {
             }
         }
 
-        let host_seconds = route_start.elapsed().as_secs_f64();
+        let host_seconds = route_start.elapsed_seconds();
+        route_span.finish();
         let reported_seconds = modeled_gpu_seconds.unwrap_or(host_seconds);
         Ok(PatternOutcome {
             routes,

@@ -6,6 +6,7 @@ use fastgr_design::Design;
 use fastgr_gpu::DeviceConfig;
 use fastgr_grid::{CongestionReport, CostParams, Route};
 use fastgr_maze::MazeConfig;
+use fastgr_telemetry::{Recorder, RunTrace};
 
 use crate::dp::PatternMode;
 use crate::error::RouteError;
@@ -105,6 +106,97 @@ impl RouterConfig {
             ..Self::fastgr_l()
         }
     }
+
+    // --- Fluent builder. Start from a preset, chain `with_*` calls:
+    // `RouterConfig::fastgr_h().with_workers(8).with_rrr_iterations(3)`.
+    // Direct field access keeps working for back-compat.
+
+    /// Returns the configuration with the pattern candidate set replaced.
+    pub fn with_pattern_mode(mut self, mode: PatternMode) -> Self {
+        self.pattern_mode = mode;
+        self
+    }
+
+    /// Returns the configuration with the pattern engine replaced.
+    pub fn with_engine(mut self, engine: PatternEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Returns the configuration with the net-ordering scheme replaced.
+    pub fn with_sorting(mut self, sorting: SortingScheme) -> Self {
+        self.sorting = sorting;
+        self
+    }
+
+    /// Returns the configuration with an RRR-only ordering override (the
+    /// Table V experiment swaps schemes there while keeping the pattern
+    /// stage fixed).
+    pub fn with_rrr_sorting(mut self, sorting: SortingScheme) -> Self {
+        self.rrr_sorting = Some(sorting);
+        self
+    }
+
+    /// Returns the configuration with the rip-up-and-reroute iteration
+    /// count replaced.
+    pub fn with_rrr_iterations(mut self, iterations: usize) -> Self {
+        self.rrr_iterations = iterations;
+        self
+    }
+
+    /// Returns the configuration with the RRR parallelisation strategy
+    /// replaced.
+    pub fn with_rrr_strategy(mut self, strategy: RrrStrategy) -> Self {
+        self.rrr_strategy = strategy;
+        self
+    }
+
+    /// Returns the configuration with the worker count replaced (RRR
+    /// executor and parallel-time model).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns the configuration with the edge cost model replaced.
+    pub fn with_cost(mut self, cost: CostParams) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Returns the configuration with the maze router settings replaced.
+    pub fn with_maze(mut self, maze: MazeConfig) -> Self {
+        self.maze = maze;
+        self
+    }
+
+    /// Returns the configuration with the Steiner optimisation pass count
+    /// replaced (0 = raw MST, for ablations).
+    pub fn with_steiner_passes(mut self, passes: usize) -> Self {
+        self.steiner_passes = passes;
+        self
+    }
+
+    /// Returns the configuration with the negotiation history increment
+    /// replaced (0 = paper-faithful).
+    pub fn with_history_increment(mut self, increment: f64) -> Self {
+        self.history_increment = increment;
+        self
+    }
+
+    /// Returns the configuration with congestion-aware (RUDY-guided)
+    /// planning switched on or off.
+    pub fn with_congestion_aware_planning(mut self, enabled: bool) -> Self {
+        self.congestion_aware_planning = enabled;
+        self
+    }
+
+    /// Returns the configuration with soundness checking switched on or
+    /// off (see [`RouterConfig::validate`]).
+    pub fn with_validate(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
 }
 
 /// Stage timing breakdown of one routing run.
@@ -163,13 +255,22 @@ pub struct RoutingOutcome {
     pub report: CongestionReport,
     /// Stage timings.
     pub timings: StageTimings,
+    /// The run trace: deterministic counters plus (when routed through
+    /// [`Router::run_with_recorder`] with an enabled recorder) the full
+    /// span/kernel/task timeline. Always carries the run summary —
+    /// `trace.nets_ripped()`, `trace.pattern_shorts()`,
+    /// `trace.pattern_batches()` — whether or not telemetry was on.
+    pub trace: RunTrace,
     /// Nets ripped up per RRR iteration.
+    #[deprecated(since = "0.2.0", note = "use `outcome.trace.nets_ripped()`")]
     pub nets_ripped: Vec<usize>,
     /// Shorts (overflow) right after the pattern routing stage, before any
     /// rip-up and reroute — the quantity the pattern kernels directly
     /// influence.
+    #[deprecated(since = "0.2.0", note = "use `outcome.trace.pattern_shorts()`")]
     pub pattern_shorts: f64,
     /// Batches formed in the pattern stage.
+    #[deprecated(since = "0.2.0", note = "use `outcome.trace.pattern_batches()`")]
     pub pattern_batches: usize,
 }
 
@@ -210,6 +311,20 @@ impl Router {
     ///
     /// Propagates [`RouteError`] from any stage; see the stage docs.
     pub fn run(&self, design: &Design) -> Result<RoutingOutcome, RouteError> {
+        self.run_with_recorder(design, &Recorder::disabled())
+    }
+
+    /// [`Router::run`] reporting into a telemetry recorder: planning /
+    /// pattern / per-RRR-iteration spans, per-kernel device events,
+    /// per-task executor events and the deterministic run counters, all
+    /// drained into [`RoutingOutcome::trace`]. With a disabled recorder
+    /// (what [`Router::run`] passes) only the run summary lands in the
+    /// trace and the recording calls cost a branch each.
+    pub fn run_with_recorder(
+        &self,
+        design: &Design,
+        recorder: &Recorder,
+    ) -> Result<RoutingOutcome, RouteError> {
         let c = &self.config;
         let mut graph = design.build_graph(c.cost)?;
 
@@ -221,7 +336,7 @@ impl Router {
             congestion_aware_planning: c.congestion_aware_planning,
             validate: c.validate,
         }
-        .run(design, &mut graph)?;
+        .run_traced(design, &mut graph, recorder)?;
         let mut routes = pattern.routes;
         let pattern_shorts = graph.report().shorts();
 
@@ -234,7 +349,7 @@ impl Router {
             history_increment: c.history_increment,
             validate: c.validate,
         }
-        .run(design, &mut graph, &mut routes)?;
+        .run_traced(design, &mut graph, &mut routes, recorder)?;
 
         let report = graph.report();
         let metrics = RoutingOutcome::metrics_from(&routes, &report);
@@ -247,12 +362,19 @@ impl Router {
             maze_seconds: rrr.modeled_parallel_seconds,
             maze_host_seconds: rrr.host_seconds,
         };
+        let mut trace = recorder.take_trace();
+        trace.set_pattern_summary(pattern.batch_count, pattern_shorts);
+        trace.set_rrr_nets_ripped(rrr.nets_ripped.clone());
+        // The deprecated fields stay populated for back-compat until
+        // their removal.
+        #[allow(deprecated)]
         Ok(RoutingOutcome {
             routes,
             guides,
             metrics,
             report,
             timings,
+            trace,
             nets_ripped: rrr.nets_ripped,
             pattern_shorts,
             pattern_batches: pattern.batch_count,
@@ -292,10 +414,7 @@ mod tests {
         ] {
             // Soundness checking on: the analysis validator and the race
             // checker audit every schedule this run builds.
-            let config = RouterConfig {
-                validate: true,
-                ..config
-            };
+            let config = config.with_validate(true);
             let outcome = Router::new(config).run(&design).expect("routable");
             assert_eq!(outcome.routes.len(), design.nets().len());
             assert!(outcome.metrics.wirelength > 0);
@@ -319,8 +438,7 @@ mod tests {
     #[test]
     fn rrr_improves_or_preserves_score_vs_pattern_only() {
         let design = congested_design();
-        let mut no_rrr = RouterConfig::cugr();
-        no_rrr.rrr_iterations = 0;
+        let no_rrr = RouterConfig::cugr().with_rrr_iterations(0);
         let with_rrr = RouterConfig::cugr();
         let a = Router::new(no_rrr).run(&design).expect("ok");
         let b = Router::new(with_rrr).run(&design).expect("ok");
@@ -344,6 +462,129 @@ mod tests {
         assert_eq!(a.routes, b.routes);
         assert_eq!(a.metrics.wirelength, b.metrics.wirelength);
         assert_eq!(a.metrics.shorts, b.metrics.shorts);
+    }
+
+    /// Denser than [`congested_design`]: guaranteed to overflow after the
+    /// pattern stage, so RRR iterations actually run.
+    fn overflowing_design() -> Design {
+        Generator::new(GeneratorParams {
+            name: "router-overflow".into(),
+            width: 24,
+            height: 24,
+            layers: 5,
+            num_nets: 360,
+            capacity: 3.0,
+            hotspots: 2,
+            hotspot_affinity: 0.6,
+            blockages: 2,
+            seed: 5,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn builder_chains_match_field_mutation() {
+        let built = RouterConfig::fastgr_h()
+            .with_workers(3)
+            .with_rrr_iterations(5)
+            .with_sorting(SortingScheme::HpwlDescending)
+            .with_rrr_sorting(SortingScheme::HpwlAscending)
+            .with_steiner_passes(2)
+            .with_history_increment(0.25)
+            .with_congestion_aware_planning(true)
+            .with_validate(true);
+        let mut mutated = RouterConfig::fastgr_h();
+        mutated.workers = 3;
+        mutated.rrr_iterations = 5;
+        mutated.sorting = SortingScheme::HpwlDescending;
+        mutated.rrr_sorting = Some(SortingScheme::HpwlAscending);
+        mutated.steiner_passes = 2;
+        mutated.history_increment = 0.25;
+        mutated.congestion_aware_planning = true;
+        mutated.validate = true;
+        assert_eq!(built.workers, mutated.workers);
+        assert_eq!(built.rrr_iterations, mutated.rrr_iterations);
+        assert_eq!(built.sorting, mutated.sorting);
+        assert_eq!(built.rrr_sorting, mutated.rrr_sorting);
+        assert_eq!(built.steiner_passes, mutated.steiner_passes);
+        assert_eq!(built.history_increment, mutated.history_increment);
+        assert_eq!(
+            built.congestion_aware_planning,
+            mutated.congestion_aware_planning
+        );
+        assert_eq!(built.validate, mutated.validate);
+        // The remaining builders cover engine/mode/strategy/cost/maze.
+        let cfg = RouterConfig::cugr()
+            .with_engine(crate::PatternEngine::ParallelCpu { workers: 2 })
+            .with_pattern_mode(PatternMode::HybridAll)
+            .with_rrr_strategy(RrrStrategy::Sequential)
+            .with_cost(CostParams::default())
+            .with_maze(MazeConfig::default());
+        assert_eq!(cfg.rrr_strategy, RrrStrategy::Sequential);
+        assert_eq!(cfg.pattern_mode, PatternMode::HybridAll);
+    }
+
+    #[test]
+    fn outcome_trace_carries_run_summary_without_recorder() {
+        let design = overflowing_design();
+        let outcome = Router::new(RouterConfig::cugr()).run(&design).expect("ok");
+        // Telemetry off: no timeline, but the summary is there.
+        assert!(!outcome.trace.has_timeline());
+        assert!(!outcome.trace.nets_ripped().is_empty());
+        assert!(outcome.trace.pattern_batches() >= 1);
+        assert!(outcome.trace.pattern_shorts() > 0.0);
+        #[allow(deprecated)]
+        {
+            assert_eq!(outcome.trace.nets_ripped(), &outcome.nets_ripped[..]);
+            assert_eq!(outcome.trace.pattern_shorts(), outcome.pattern_shorts);
+            assert_eq!(outcome.trace.pattern_batches(), outcome.pattern_batches);
+        }
+    }
+
+    #[test]
+    fn recorded_run_traces_all_stages() {
+        let design = overflowing_design();
+        let recorder = Recorder::enabled();
+        let outcome = Router::new(RouterConfig::fastgr_l().with_validate(true))
+            .run_with_recorder(&design, &recorder)
+            .expect("ok");
+        let trace = &outcome.trace;
+        assert!(trace.has_timeline());
+        let span_names: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(span_names.contains(&"planning"), "{span_names:?}");
+        assert!(span_names.contains(&"pattern"), "{span_names:?}");
+        assert!(span_names.contains(&"rrr.iter0"), "{span_names:?}");
+        // One kernel event per launch, one launch per batch.
+        assert_eq!(trace.kernels().len(), trace.pattern_batches());
+        assert_eq!(
+            trace.counter("pattern.kernel_launches"),
+            Some(trace.pattern_batches() as f64)
+        );
+        // One rrr.nets_ripped sample per iteration that ran.
+        let samples = trace
+            .counter_samples()
+            .iter()
+            .filter(|s| s.name == "rrr.nets_ripped")
+            .count();
+        assert_eq!(samples, trace.nets_ripped().len());
+        // Executor task events were recorded (task-graph strategy).
+        assert!(trace.events().iter().any(|e| e.cat == "task"));
+    }
+
+    #[test]
+    fn counter_values_identical_across_recorded_and_plain_runs() {
+        let design = overflowing_design();
+        let config = RouterConfig::fastgr_l();
+        let plain = Router::new(config).run(&design).expect("ok");
+        let recorder = Recorder::enabled();
+        let traced = Router::new(config)
+            .run_with_recorder(&design, &recorder)
+            .expect("ok");
+        // Telemetry must not perturb the routing result.
+        assert_eq!(plain.routes, traced.routes);
+        assert_eq!(plain.trace.nets_ripped(), traced.trace.nets_ripped());
+        assert_eq!(plain.trace.pattern_batches(), traced.trace.pattern_batches());
+        assert_eq!(plain.trace.pattern_shorts(), traced.trace.pattern_shorts());
     }
 
     #[test]

@@ -13,12 +13,11 @@
 //! `workers` workers for the task graph; per-batch makespans for the
 //! barrier strategy), which is what Table VIII's MAZE columns compare.
 
-use std::time::Instant;
-
 use fastgr_design::Design;
 use fastgr_grid::{GridGraph, Point2, Rect, Route};
 use fastgr_maze::{MazeConfig, MazeError, MazeRouter};
-use fastgr_taskgraph::{extract_batches, ConflictGraph, Executor, Schedule};
+use fastgr_taskgraph::{extract_batches, ConflictGraph, Executor, HookPair, Schedule, TraceHooks};
+use fastgr_telemetry::{Recorder, Stopwatch};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::RouteError;
@@ -101,12 +100,27 @@ impl RrrStage {
         graph: &mut GridGraph,
         routes: &mut [Route],
     ) -> Result<RrrOutcome, RouteError> {
+        self.run_traced(design, graph, routes, &Recorder::disabled())
+    }
+
+    /// [`RrrStage::run`] reporting into a telemetry recorder: one
+    /// `rrr.iterN` span and one `rrr.nets_ripped` counter sample per
+    /// iteration, plus per-task events from the executor (task-graph
+    /// strategy). With a disabled recorder this is exactly
+    /// [`RrrStage::run`].
+    pub fn run_traced(
+        &self,
+        design: &Design,
+        graph: &mut GridGraph,
+        routes: &mut [Route],
+        recorder: &Recorder,
+    ) -> Result<RrrOutcome, RouteError> {
         assert_eq!(routes.len(), design.nets().len(), "one route slot per net");
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut nets_ripped = Vec::new();
         let mut modeled = 0.0;
 
-        for _ in 0..self.iterations {
+        for iteration in 0..self.iterations {
             // Extract the violating nets.
             let mut violating: Vec<u32> = (0..routes.len() as u32)
                 .filter(|&i| graph.route_has_overflow(&routes[i as usize]))
@@ -114,7 +128,9 @@ impl RrrStage {
             if violating.is_empty() {
                 break;
             }
+            let iter_span = recorder.span_indexed("rrr.iter", iteration, "stage");
             self.sorting.sort_subset(&mut violating, design.nets());
+            recorder.counter_sample("rrr.nets_ripped", violating.len() as f64);
             nets_ripped.push(violating.len());
 
             // Conflict graph over net bounding boxes (+1 G-cell), following
@@ -143,7 +159,7 @@ impl RrrStage {
             // The task body: rip up, reroute, commit — identical across
             // strategies; only the scheduling differs.
             let run_task = |graph_lock: &RwLock<&mut GridGraph>, task: u32| {
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let net_id = violating[task as usize];
                 let net = design.net(fastgr_design::NetId(net_id));
                 let pins: Vec<Point2> = net.distinct_positions();
@@ -179,7 +195,7 @@ impl RrrStage {
                         slot.error = Some(e);
                     }
                 }
-                slot.seconds = t0.elapsed().as_secs_f64();
+                slot.seconds = t0.elapsed_seconds();
             };
 
             match self.strategy {
@@ -199,20 +215,29 @@ impl RrrStage {
                             .unwrap_or(1)
                             .min(self.workers);
                         let graph_lock = RwLock::new(&mut *graph);
+                        let hooks = TraceHooks::new(recorder.clone());
                         if self.validate {
-                            let checker =
-                                fastgr_analysis::RaceChecker::new(schedule.task_count());
+                            // Race checking and telemetry compose: both
+                            // observe the same execution through one hook
+                            // pair.
+                            let pair = HookPair::new(
+                                fastgr_analysis::RaceChecker::new(schedule.task_count()),
+                                hooks,
+                            );
                             Executor::new(threads).run_with_hooks(
                                 &schedule,
                                 |task| run_task(&graph_lock, task),
-                                &checker,
+                                &pair,
                             );
-                            checker
+                            pair.first
                                 .report(&conflicts)
                                 .assert_clean("rrr task-graph execution");
                         } else {
-                            Executor::new(threads)
-                                .run(&schedule, |task| run_task(&graph_lock, task));
+                            Executor::new(threads).run_with_hooks(
+                                &schedule,
+                                |task| run_task(&graph_lock, task),
+                                &hooks,
+                            );
                         }
                     }
                     let costs: Vec<f64> = slots.iter().map(|s| s.lock().seconds).collect();
@@ -271,11 +296,12 @@ impl RrrStage {
             if self.history_increment > 0.0 {
                 graph.add_history_on_overflow(self.history_increment);
             }
+            iter_span.finish();
         }
 
         Ok(RrrOutcome {
             nets_ripped,
-            host_seconds: start.elapsed().as_secs_f64(),
+            host_seconds: start.elapsed_seconds(),
             modeled_parallel_seconds: modeled,
         })
     }

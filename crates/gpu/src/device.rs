@@ -1,9 +1,10 @@
 //! The simulated device and its calibrated performance model.
 
 use std::fmt;
-use std::time::Instant;
 
-use crate::pool::HostPool;
+use fastgr_telemetry::{Recorder, Stopwatch, TRACK_WORKER_BASE};
+
+use crate::pool::{BlockEventTap, HostPool, SyncSlots};
 
 /// Static configuration of the simulated device.
 ///
@@ -151,17 +152,28 @@ pub struct Device {
     config: DeviceConfig,
     stats: DeviceStats,
     pool: HostPool,
+    recorder: Recorder,
 }
 
 impl Device {
     /// Creates a device with the given configuration. The host worker
     /// count is resolved once here (see [`DeviceConfig::host_workers`]).
+    /// Telemetry starts disabled; attach a recorder with
+    /// [`Device::set_recorder`].
     pub fn new(config: DeviceConfig) -> Self {
         Self {
             config,
             stats: DeviceStats::default(),
             pool: HostPool::resolved(config.host_workers),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder: every subsequent launch reports one
+    /// kernel event, and (when the recorder is enabled) per-block
+    /// begin/end events on the executing worker's track.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The device configuration.
@@ -211,17 +223,41 @@ impl Device {
     where
         F: Fn(usize) -> BlockProfile + Sync,
     {
-        let host_start = Instant::now();
+        let host_start = Stopwatch::start();
         let threads_per_block = self.config.threads_per_block;
         let stage_seconds = self.config.stage_seconds;
-        // Index-ordered per-block times; `HostPool::map` is serial and
-        // in-order for one worker, parallel (but still index-addressed)
-        // otherwise.
-        let block_times = self.pool.map(blocks, |b| {
+        let time_of = |b: usize| {
             let profile = run_block(b);
             let waves = profile.threads.div_ceil(threads_per_block).max(1);
             profile.flow_depth as f64 * waves as f64 * stage_seconds
-        });
+        };
+        // Index-ordered per-block times; `HostPool::map` is serial and
+        // in-order for one worker, parallel (but still index-addressed)
+        // otherwise. With an enabled recorder the tapped path additionally
+        // reports per-block begin/end events from the executing workers;
+        // either way the times land in index-addressed slots, so the
+        // modelled result never depends on thread interleaving.
+        let block_times = if self.recorder.is_enabled() {
+            let tap = RecorderTap {
+                recorder: &self.recorder,
+                kernel: name,
+            };
+            let slots = SyncSlots::new(blocks);
+            self.pool.for_each_tapped(
+                blocks,
+                |b| {
+                    slots.set(b, time_of(b));
+                },
+                &tap,
+            );
+            slots
+                .into_vec()
+                .into_iter()
+                .map(|v| v.expect("every index produced a value"))
+                .collect()
+        } else {
+            self.pool.map(blocks, time_of)
+        };
         // One reduction in index order, shared by the serial and parallel
         // paths: the floating-point result cannot depend on worker count.
         let mut max_block_time = 0.0f64;
@@ -234,7 +270,8 @@ impl Device {
         }
         let modeled_seconds = self.config.launch_overhead_seconds
             + max_block_time.max(total_block_time / self.config.sm_count as f64);
-        let host_seconds = host_start.elapsed().as_secs_f64();
+        let host_seconds = host_start.elapsed_seconds();
+        self.recorder.kernel(name, blocks, modeled_seconds, host_seconds);
         self.stats.launches += 1;
         self.stats.blocks += blocks;
         self.stats.modeled_seconds += modeled_seconds;
@@ -251,6 +288,31 @@ impl Device {
 impl Default for Device {
     fn default() -> Self {
         Self::new(DeviceConfig::default())
+    }
+}
+
+/// Bridges the pool's [`BlockEventTap`] into the telemetry recorder:
+/// block begin/end markers land on the executing worker's track.
+struct RecorderTap<'a> {
+    recorder: &'a Recorder,
+    kernel: &'a str,
+}
+
+impl BlockEventTap for RecorderTap<'_> {
+    fn on_block_start(&self, block: usize, worker: usize) {
+        self.recorder.begin(
+            &format!("{}.block{block}", self.kernel),
+            "block",
+            TRACK_WORKER_BASE + worker as u32,
+        );
+    }
+
+    fn on_block_end(&self, block: usize, worker: usize) {
+        self.recorder.end(
+            &format!("{}.block{block}", self.kernel),
+            "block",
+            TRACK_WORKER_BASE + worker as u32,
+        );
     }
 }
 
@@ -381,6 +443,41 @@ mod tests {
             BlockProfile::new(1, 1)
         });
         assert!(seen.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn enabled_recorder_captures_kernels_and_block_events() {
+        let recorder = Recorder::enabled();
+        let mut d = Device::new(DeviceConfig::tiny().with_host_workers(2));
+        d.set_recorder(recorder.clone());
+        let stats = d.launch("pattern", 5, |_| BlockProfile::new(1, 2));
+        let trace = recorder.take_trace();
+        assert_eq!(trace.kernels().len(), 1);
+        let k = &trace.kernels()[0];
+        assert_eq!(k.name, "pattern");
+        assert_eq!(k.blocks, 5);
+        assert_eq!(k.modeled_seconds, stats.modeled_seconds);
+        // One begin + one end per block, balanced per track.
+        let begins = trace.events().iter().filter(|e| e.begin).count();
+        let ends = trace.events().iter().filter(|e| !e.begin).count();
+        assert_eq!(begins, 5);
+        assert_eq!(ends, 5);
+        assert!(trace.events().iter().all(|e| e.cat == "block"));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.name == "pattern.block0"));
+    }
+
+    #[test]
+    fn recorder_does_not_change_modeled_time() {
+        let profile = |b: usize| BlockProfile::new(1 + (b * 7) % 13, 1 + (b * 5) % 9);
+        let mut plain = Device::new(DeviceConfig::tiny().with_host_workers(2));
+        let mut traced = Device::new(DeviceConfig::tiny().with_host_workers(2));
+        traced.set_recorder(Recorder::enabled());
+        let a = plain.launch("k", 97, profile).modeled_seconds;
+        let b = traced.launch("k", 97, profile).modeled_seconds;
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

@@ -9,9 +9,9 @@ use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use crossbeam::channel;
+use fastgr_telemetry::{Recorder, Stopwatch, TRACK_WORKER_BASE};
 
 use crate::schedule::Schedule;
 
@@ -50,6 +50,85 @@ pub trait ExecutionHooks: Sync {
 pub struct NoHooks;
 
 impl ExecutionHooks for NoHooks {}
+
+/// [`ExecutionHooks`] that report into a telemetry [`Recorder`]: each
+/// task becomes a begin/end pair on the executing worker's track, and
+/// every dependency handoff bumps the `sched.handoffs` counter.
+///
+/// With a disabled recorder every callback is a no-op branch, so the
+/// hooks can be installed unconditionally.
+#[derive(Debug, Clone)]
+pub struct TraceHooks {
+    recorder: Recorder,
+}
+
+impl TraceHooks {
+    /// Hooks reporting into `recorder`.
+    pub fn new(recorder: Recorder) -> Self {
+        Self { recorder }
+    }
+}
+
+impl ExecutionHooks for TraceHooks {
+    fn on_task_start(&self, task: u32, worker: usize) {
+        if self.recorder.is_enabled() {
+            self.recorder.begin(
+                &format!("task{task}"),
+                "task",
+                TRACK_WORKER_BASE + worker as u32,
+            );
+        }
+    }
+
+    fn on_task_finish(&self, task: u32, worker: usize) {
+        if self.recorder.is_enabled() {
+            self.recorder.end(
+                &format!("task{task}"),
+                "task",
+                TRACK_WORKER_BASE + worker as u32,
+            );
+        }
+    }
+
+    fn on_handoff(&self, _pred: u32, _succ: u32) {
+        self.recorder.accumulate("sched.handoffs", 1.0);
+    }
+}
+
+/// Fans one run's events out to two independent [`ExecutionHooks`] (e.g.
+/// a race checker *and* telemetry [`TraceHooks`]). `first` receives every
+/// event before `second`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HookPair<A, B> {
+    /// Receives each event first.
+    pub first: A,
+    /// Receives each event second.
+    pub second: B,
+}
+
+impl<A, B> HookPair<A, B> {
+    /// Combines two hooks.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+}
+
+impl<A: ExecutionHooks, B: ExecutionHooks> ExecutionHooks for HookPair<A, B> {
+    fn on_task_start(&self, task: u32, worker: usize) {
+        self.first.on_task_start(task, worker);
+        self.second.on_task_start(task, worker);
+    }
+
+    fn on_task_finish(&self, task: u32, worker: usize) {
+        self.first.on_task_finish(task, worker);
+        self.second.on_task_finish(task, worker);
+    }
+
+    fn on_handoff(&self, pred: u32, succ: u32) {
+        self.first.on_handoff(pred, succ);
+        self.second.on_handoff(pred, succ);
+    }
+}
 
 /// Statistics from one executor run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,7 +239,7 @@ impl Executor {
         H: ExecutionHooks,
     {
         let n = schedule.task_count();
-        let start = Instant::now();
+        let start = Stopwatch::start();
         if n == 0 {
             return ExecutorStats {
                 tasks: 0,
@@ -242,7 +321,7 @@ impl Executor {
 
         ExecutorStats {
             tasks: n,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: start.elapsed_seconds(),
             workers: self.workers,
         }
     }
@@ -388,6 +467,45 @@ mod tests {
         }));
         assert!(result.is_err());
         assert!(ran.into_inner().is_empty(), "successors must be abandoned");
+    }
+
+    #[test]
+    fn trace_hooks_report_tasks_and_handoffs() {
+        // All three boxes mutually overlap: edges 0→1, 0→2, 1→2.
+        let boxes = vec![rect(0, 0, 9, 9), rect(1, 1, 8, 8), rect(2, 2, 7, 7)];
+        let schedule = schedule_of(&boxes);
+        let recorder = Recorder::enabled();
+        Executor::new(2).run_with_hooks(&schedule, |_| {}, &TraceHooks::new(recorder.clone()));
+        let trace = recorder.take_trace();
+        let begins: Vec<&str> = trace
+            .events()
+            .iter()
+            .filter(|e| e.begin)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(begins.len(), 3);
+        assert!(begins.contains(&"task0"));
+        assert_eq!(trace.counter("sched.handoffs"), Some(3.0));
+        // Disabled recorder: the same hooks record nothing.
+        let off = Recorder::disabled();
+        Executor::new(2).run_with_hooks(&schedule, |_| {}, &TraceHooks::new(off.clone()));
+        assert!(off.take_trace().events().is_empty());
+    }
+
+    #[test]
+    fn hook_pair_fans_out_to_both() {
+        struct Count(AtomicUsize);
+        impl ExecutionHooks for Count {
+            fn on_task_start(&self, _t: u32, _w: usize) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let boxes = vec![rect(0, 0, 1, 1), rect(5, 5, 6, 6)];
+        let schedule = schedule_of(&boxes);
+        let pair = HookPair::new(Count(AtomicUsize::new(0)), Count(AtomicUsize::new(0)));
+        Executor::new(2).run_with_hooks(&schedule, |_| {}, &pair);
+        assert_eq!(pair.first.0.load(Ordering::Relaxed), 2);
+        assert_eq!(pair.second.0.load(Ordering::Relaxed), 2);
     }
 
     #[test]

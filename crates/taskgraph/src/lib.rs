@@ -50,5 +50,5 @@ mod schedule;
 
 pub use batch::extract_batches;
 pub use conflict::ConflictGraph;
-pub use executor::{ExecutionHooks, Executor, ExecutorStats, NoHooks};
+pub use executor::{ExecutionHooks, Executor, ExecutorStats, HookPair, NoHooks, TraceHooks};
 pub use schedule::Schedule;

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  quality:  {}", outcome.metrics);
         println!("  timings:  {}", outcome.timings);
         println!("  speedup:  {speedup} over the baseline");
-        println!("  ripped:   {:?}", outcome.nets_ripped);
+        println!("  ripped:   {:?}", outcome.trace.nets_ripped());
         println!();
     }
     Ok(())

@@ -19,12 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("routed {} nets", outcome.routes.len());
     println!("quality: {}", outcome.metrics);
     println!("timings: {}", outcome.timings);
-    println!("pattern batches: {}", outcome.pattern_batches);
+    println!("pattern batches: {}", outcome.trace.pattern_batches());
     println!("congestion: {}", outcome.report);
-    if outcome.nets_ripped.is_empty() {
+    if outcome.trace.nets_ripped().is_empty() {
         println!("no rip-up and reroute was needed");
     } else {
-        println!("nets ripped per iteration: {:?}", outcome.nets_ripped);
+        println!("nets ripped per iteration: {:?}", outcome.trace.nets_ripped());
     }
 
     // The guides are what a detailed router consumes.

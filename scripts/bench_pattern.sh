@@ -7,6 +7,10 @@
 # then writes BENCH_pattern.json at the repo root.
 #
 # Usage: scripts/bench_pattern.sh [--full] [--workers N] [--out PATH]
+#                                 [--trace PATH]
+#
+# With --trace PATH the parallel runs are recorded through the telemetry
+# layer and written as a Chrome trace_event profile (open in Perfetto).
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release --offline -p fastgr-bench

@@ -18,7 +18,17 @@ cargo test -q --workspace
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== xtask check =="
 cargo xtask check
+
+echo "== trace export smoke =="
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+target/release/fastgr generate tiny --out "$trace_tmp/tiny.txt"
+target/release/fastgr route "$trace_tmp/tiny.txt" --trace "$trace_tmp/trace.json" >/dev/null
+cargo xtask validate-trace "$trace_tmp/trace.json"
 
 echo "All checks passed."

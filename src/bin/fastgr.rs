@@ -13,9 +13,10 @@
 //! fastgr route <design.txt | suite-name>
 //!        [--preset cugr|fastgr-l|fastgr-h] [--guides out.guide]
 //!        [--sort pins-asc|pins-desc|hpwl-asc|hpwl-desc|area-asc|area-desc]
-//!        [--iterations N] [--svg out.svg]
+//!        [--iterations N] [--svg out.svg] [--trace out.json]
 //!     Route the design and print quality metrics and stage timings;
-//!     optionally write ISPD-style routing guides and an SVG rendering.
+//!     optionally write ISPD-style routing guides, an SVG rendering, or a
+//!     Chrome `trace_event` profile (load in Perfetto / chrome://tracing).
 //! ```
 
 use std::fs;
@@ -23,12 +24,13 @@ use std::process::ExitCode;
 
 use fastgr::core::{Router, RouterConfig, SortingScheme};
 use fastgr::design::{BenchmarkSpec, Design, Generator};
+use fastgr::Recorder;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  fastgr suite\n  fastgr generate <suite-name|tiny> [--seed N] [--out FILE]\n  \
          fastgr info <design.txt>\n  fastgr route <design.txt|suite-name> [--preset P] \
-         [--guides FILE] [--sort SCHEME] [--iterations N] [--svg FILE]"
+         [--guides FILE] [--sort SCHEME] [--iterations N] [--svg FILE] [--trace FILE]"
     );
     ExitCode::FAILURE
 }
@@ -176,7 +178,7 @@ fn cmd_route(args: &[String]) -> ExitCode {
         }
     };
     if let Some(sort) = flag_value(args, "--sort") {
-        config.sorting = match sort {
+        let scheme = match sort {
             "pins-asc" => SortingScheme::PinsAscending,
             "pins-desc" => SortingScheme::PinsDescending,
             "hpwl-asc" => SortingScheme::HpwlAscending,
@@ -188,19 +190,26 @@ fn cmd_route(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        config = config.with_sorting(scheme);
     }
     if let Some(iters) = flag_value(args, "--iterations") {
         match iters.parse() {
-            Ok(n) => config.rrr_iterations = n,
+            Ok(n) => config = config.with_rrr_iterations(n),
             Err(_) => {
                 eprintln!("--iterations expects a number, got {iters:?}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    let trace_path = flag_value(args, "--trace");
+    let recorder = if trace_path.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
 
     println!("{design}");
-    let outcome = match Router::new(config).run(&design) {
+    let outcome = match Router::new(config).run_with_recorder(&design, &recorder) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("routing failed: {e}");
@@ -209,9 +218,18 @@ fn cmd_route(args: &[String]) -> ExitCode {
     };
     println!("quality:  {}", outcome.metrics);
     println!("timings:  {}", outcome.timings);
-    println!("batches:  {}", outcome.pattern_batches);
-    println!("ripped:   {:?}", outcome.nets_ripped);
+    println!("batches:  {}", outcome.trace.pattern_batches());
+    println!("ripped:   {:?}", outcome.trace.nets_ripped());
     println!("congestion: {}", outcome.report);
+    if let Some(path) = trace_path {
+        let json = outcome.trace.to_chrome_trace_json();
+        if let Err(e) = fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote trace to {path} ({} bytes)", json.len());
+        print!("{}", outcome.trace.summary_table());
+    }
 
     if let Some(path) = flag_value(args, "--svg") {
         let svg = fastgr::viz::SvgRenderer::new().render_routes(&design, &outcome.routes);

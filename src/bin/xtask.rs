@@ -12,7 +12,10 @@
 //! * `cargo xtask mutation` — corrupts real schedules (reversed conflict
 //!   edge, merged conflicting batch, forced unordered execution) and
 //!   demands the checkers reject every corruption;
-//! * `cargo xtask check` — all of the above; what CI runs.
+//! * `cargo xtask validate-trace <trace.json>` — parses a Chrome
+//!   `trace_event` file written by `fastgr route --trace` and checks the
+//!   schema (event phases, required fields, begin/end balance);
+//! * `cargo xtask check` — lint + validate + mutation; what CI runs.
 
 #![forbid(unsafe_code)]
 
@@ -34,6 +37,7 @@ fn main() -> ExitCode {
         "lint" => lint(),
         "validate" => validate(),
         "mutation" => mutation(),
+        "validate-trace" => validate_trace(args.get(1).map(String::as_str)),
         "check" => {
             let mut ok = lint();
             ok &= validate();
@@ -41,7 +45,7 @@ fn main() -> ExitCode {
             ok
         }
         "help" | "--help" | "-h" => {
-            println!("usage: cargo xtask [check|lint|validate|mutation]");
+            println!("usage: cargo xtask [check|lint|validate|mutation|validate-trace FILE]");
             true
         }
         other => {
@@ -104,6 +108,101 @@ fn lint() -> bool {
     report.is_clean()
 }
 
+/// Checks a Chrome `trace_event` file as written by `fastgr route --trace`:
+/// valid JSON, the expected envelope, well-formed events, and balanced
+/// begin/end pairs per track.
+fn validate_trace(path: Option<&str>) -> bool {
+    let Some(path) = path else {
+        eprintln!("usage: cargo xtask validate-trace <trace.json>");
+        return false;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate-trace: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let root = match fastgr_telemetry::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validate-trace: {path} is not valid JSON: {e}");
+            return false;
+        }
+    };
+
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("validate-trace: {msg}");
+        ok = false;
+    };
+    if root.get("displayTimeUnit").and_then(|v| v.as_str()) != Some("ms") {
+        fail("missing or wrong displayTimeUnit (expected \"ms\")".to_string());
+    }
+    let events = root
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .unwrap_or(&[]);
+    if events.is_empty() {
+        fail("traceEvents is missing or empty".to_string());
+    }
+
+    // Per-(tid, name) begin/end nesting depth; must balance out at zero.
+    let mut open: std::collections::BTreeMap<(String, String), i64> =
+        std::collections::BTreeMap::new();
+    let (mut complete, mut counters, mut kernels) = (0usize, 0usize, 0usize);
+    for (i, event) in events.iter().enumerate() {
+        let ph = event.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        let name = event.get("name").and_then(|v| v.as_str()).unwrap_or("");
+        if name.is_empty() {
+            fail(format!("event #{i} has no name"));
+        }
+        for field in ["pid", "tid", "ts"] {
+            if event.get(field).and_then(|v| v.as_f64()).is_none() {
+                fail(format!("event #{i} ({name}) lacks numeric `{field}`"));
+            }
+        }
+        let tid = event
+            .get("tid")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(-1.0)
+            .to_string();
+        match ph {
+            "X" => {
+                complete += 1;
+                if event.get("dur").and_then(|v| v.as_f64()).is_none() {
+                    fail(format!("complete event #{i} ({name}) lacks numeric `dur`"));
+                }
+                if event.get("cat").and_then(|v| v.as_str()) == Some("kernel") {
+                    kernels += 1;
+                }
+            }
+            "B" => *open.entry((tid, name.to_string())).or_insert(0) += 1,
+            "E" => *open.entry((tid, name.to_string())).or_insert(0) -= 1,
+            "C" => {
+                counters += 1;
+                if event.get("args").is_none() {
+                    fail(format!("counter event #{i} ({name}) lacks `args`"));
+                }
+            }
+            other => fail(format!("event #{i} ({name}) has unknown phase {other:?}")),
+        }
+    }
+    for ((tid, name), depth) in &open {
+        if *depth != 0 {
+            fail(format!(
+                "unbalanced begin/end for `{name}` on tid {tid}: depth {depth}"
+            ));
+        }
+    }
+    println!(
+        "validate-trace {path}: {} events ({complete} complete, {counters} counter, \
+         {kernels} kernel)",
+        events.len()
+    );
+    ok
+}
+
 fn validate() -> bool {
     let mut ok = true;
     for design in design_suite() {
@@ -129,10 +228,7 @@ fn validate() -> bool {
     // One end-to-end routing run with the inline validator armed: panics
     // (and fails the task) if any stage builds an unsound schedule.
     let design = Generator::tiny(4).generate();
-    let config = RouterConfig {
-        validate: true,
-        ..RouterConfig::fastgr_l()
-    };
+    let config = RouterConfig::fastgr_l().with_validate(true);
     match Router::new(config).run(&design) {
         Ok(outcome) => println!(
             "validate end-to-end: {} nets routed, score {:.1}",

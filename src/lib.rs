@@ -14,7 +14,10 @@
 //! * [`viz`] — SVG rendering of routes and congestion maps,
 //! * [`assign`] — the classic 2-D + layer-assignment alternative flow,
 //! * [`analysis`] — schedule soundness validator, happens-before race
-//!   checker and the workspace lint pass (`cargo xtask check`).
+//!   checker and the workspace lint pass (`cargo xtask check`),
+//! * [`telemetry`] — the run-trace recorder: stage spans, counters and
+//!   kernel events aggregated into a [`RunTrace`], exportable as a summary
+//!   table or Chrome `trace_event` JSON (`fastgr route --trace out.json`).
 //!
 //! # Quickstart
 //!
@@ -43,4 +46,10 @@ pub use fastgr_grid as grid;
 pub use fastgr_maze as maze;
 pub use fastgr_steiner as steiner;
 pub use fastgr_taskgraph as taskgraph;
+pub use fastgr_telemetry as telemetry;
 pub use fastgr_viz as viz;
+
+// The telemetry vocabulary is part of the top-level API: `Recorder` feeds
+// `Router::run_with_recorder`, and every `RoutingOutcome` carries a
+// `RunTrace` of `Span`s and `Counter`s.
+pub use fastgr_telemetry::{Counter, Recorder, RunTrace, Span};

@@ -34,8 +34,7 @@ fn two_d_and_three_d_agree_on_wirelength_scale() {
     // (layer choice cannot change 2-D geometry length by much).
     let design = Generator::tiny(17).generate();
     let (_, routes2d) = run_two_d(&design);
-    let mut config = RouterConfig::cugr();
-    config.rrr_iterations = 0;
+    let config = RouterConfig::cugr().with_rrr_iterations(0);
     let outcome3d = Router::new(config).run(&design).expect("routable");
     let wl2 = routes2d.iter().map(|r| r.wirelength()).sum::<u64>() as f64;
     let wl3 = outcome3d.metrics.wirelength as f64;

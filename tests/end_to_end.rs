@@ -91,15 +91,18 @@ fn whole_flow_is_deterministic() {
         .run(&design)
         .expect("routable");
     assert_eq!(a.routes, b.routes);
-    assert_eq!(a.nets_ripped, b.nets_ripped);
+    assert_eq!(a.trace.nets_ripped(), b.trace.nets_ripped());
+    assert_eq!(
+        a.trace.deterministic_signature(),
+        b.trace.deterministic_signature()
+    );
     assert_eq!(a.metrics.shorts, b.metrics.shorts);
 }
 
 #[test]
 fn rrr_never_worsens_overflow() {
     let design = congested_design(5);
-    let mut pattern_only = RouterConfig::cugr();
-    pattern_only.rrr_iterations = 0;
+    let pattern_only = RouterConfig::cugr().with_rrr_iterations(0);
     let rough = Router::new(pattern_only).run(&design).expect("routable");
     let refined = Router::new(RouterConfig::cugr())
         .run(&design)

@@ -24,9 +24,9 @@ fn congested_design(seed: u64) -> fastgr::design::Design {
 fn history_cost_reduces_shorts_with_extra_iterations() {
     let design = congested_design(41);
     let plain = Router::new(RouterConfig::fastgr_l()).run(&design).expect("ok");
-    let mut with_history = RouterConfig::fastgr_l();
-    with_history.history_increment = 4.0;
-    with_history.rrr_iterations = 8;
+    let with_history = RouterConfig::fastgr_l()
+        .with_history_increment(4.0)
+        .with_rrr_iterations(8);
     let negotiated = Router::new(with_history).run(&design).expect("ok");
     assert!(
         negotiated.metrics.shorts <= plain.metrics.shorts,
@@ -39,8 +39,7 @@ fn history_cost_reduces_shorts_with_extra_iterations() {
 #[test]
 fn history_cost_preserves_invariants() {
     let design = congested_design(42);
-    let mut config = RouterConfig::fastgr_l();
-    config.history_increment = 2.0;
+    let config = RouterConfig::fastgr_l().with_history_increment(2.0);
     let outcome = Router::new(config).run(&design).expect("ok");
     for route in &outcome.routes {
         assert!(route.is_connected());
@@ -59,8 +58,7 @@ fn history_cost_preserves_invariants() {
 #[test]
 fn congestion_aware_planning_routes_cleanly() {
     let design = congested_design(43);
-    let mut config = RouterConfig::fastgr_l();
-    config.congestion_aware_planning = true;
+    let config = RouterConfig::fastgr_l().with_congestion_aware_planning(true);
     let outcome = Router::new(config).run(&design).expect("ok");
     assert!(outcome.guides.covers_pins(&design));
     for (net, route) in design.nets().iter().zip(&outcome.routes) {
@@ -74,8 +72,7 @@ fn congestion_aware_planning_routes_cleanly() {
 #[test]
 fn parallel_cpu_engine_runs_through_the_router() {
     let design = congested_design(44);
-    let mut config = RouterConfig::fastgr_l();
-    config.engine = PatternEngine::ParallelCpu { workers: 4 };
+    let config = RouterConfig::fastgr_l().with_engine(PatternEngine::ParallelCpu { workers: 4 });
     let outcome = Router::new(config).run(&design).expect("ok");
     assert!(outcome.timings.pattern_gpu_seconds.is_none());
     assert!(outcome.metrics.wirelength > 0);

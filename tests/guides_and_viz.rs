@@ -70,8 +70,7 @@ fn congestion_estimate_matches_router_pattern_stage() {
     let estimate = fastgr::core::estimate_congestion(&design).expect("routable");
     // The estimate is a pattern-only pass: its demand must be close to the
     // committed demand of a pattern-only router run with the same config.
-    let mut config = RouterConfig::cugr();
-    config.rrr_iterations = 0;
+    let config = RouterConfig::cugr().with_rrr_iterations(0);
     let outcome = Router::new(config).run(&design).expect("routable");
     assert_eq!(
         estimate.report.total_wire_demand,
