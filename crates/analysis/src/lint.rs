@@ -12,11 +12,12 @@
 //!    there either poison a worker pool or abort a long routing run;
 //!    recoverable paths must return errors. Deliberate invariant panics
 //!    are granted case-by-case through the allowlist file.
-//! 3. **`dp-alloc`** — the pattern-routing dynamic program promises a
-//!    zero-allocation steady state (`DpScratch` is reused across nets);
-//!    inside every `fn *_into` of `core::dp` no allocating call
-//!    (`Vec::new`, `vec!`, `with_capacity`, `collect`, `Box::new`,
-//!    `format!`, …) and no `Mutex` may appear.
+//! 3. **`dp-alloc`** — the pattern-routing dynamic program and the maze
+//!    search both promise a zero-allocation steady state (`DpScratch` /
+//!    `MazeScratch` are reused across nets); inside every `fn *_into` of
+//!    `core::dp` and `maze::router` no allocating call (`Vec::new`,
+//!    `vec!`, `with_capacity`, `collect`, `Box::new`, `format!`, …) and
+//!    no `Mutex` may appear.
 //! 4. **`timing-instant`** — no `Instant::now()` outside
 //!    `crates/telemetry` (the `fastgr-telemetry::Stopwatch` clock).
 //!    Every crate measures wall time through the one clock, so reported
@@ -24,6 +25,11 @@
 //!    single place timestamps originate. Scope: the facade `src/` and
 //!    every `crates/*/src/` except the telemetry crate (shims keep their
 //!    own clocks — they substitute external crates).
+//! 5. **`rrr-rwlock`** — no `RwLock` in `core::rrr`. The RRR stage shares
+//!    the grid between tasks through the lock-free atomic congestion
+//!    store (`GridGraph::commit_atomic`); reintroducing a reader–writer
+//!    lock around the grid would serialise every commit and defeat the
+//!    parallel design. (Per-task result slots may keep plain mutexes.)
 //!
 //! The scanner strips line/block comments and string-literal contents, and
 //! skips `#[cfg(test)] mod` bodies by brace tracking, so doc examples and
@@ -145,8 +151,9 @@ pub fn lint_workspace(root: &Path) -> ValidationReport {
         report.tasks_checked += 1;
         let rules = Rules {
             hot: hot.contains(file),
-            dp: rel.ends_with("core/src/dp.rs"),
+            dp: rel.ends_with("core/src/dp.rs") || rel.ends_with("maze/src/router.rs"),
             timing: true,
+            rrr_lock: rel.ends_with("core/src/rrr.rs"),
         };
         lint_file(&text, &rel, rules, &allowlist, &mut used, &mut report);
     }
@@ -178,6 +185,9 @@ pub struct Rules {
     /// Rule 4: `Instant::now` ban (timing goes through the telemetry
     /// crate's `Stopwatch`).
     pub timing: bool,
+    /// Rule 5: `RwLock` ban in the RRR stage (grid sharing goes through
+    /// the lock-free atomic congestion store).
+    pub rrr_lock: bool,
 }
 
 /// Scans one file for whichever of rules 2–4 `rules` enables.
@@ -294,6 +304,24 @@ fn lint_file(
             );
         }
 
+        // Rule 5: the RRR stage must stay lock-free on the grid.
+        if rules.rrr_lock && code.contains("RwLock") {
+            push_allowed(
+                report,
+                allowlist,
+                used,
+                Diagnostic::error(
+                    "rrr-rwlock",
+                    format!(
+                        "{rel}:{line_no}: `RwLock` in the RRR stage (share the grid \
+                         through `GridGraph::commit_atomic` instead)"
+                    ),
+                ),
+                rel,
+                raw,
+            );
+        }
+
         // Rule 3: no allocation / locking inside the zero-alloc DP body.
         if rules.dp && (into_depth > 0 || seen_into_open) {
             const MARKERS: &[&str] = &[
@@ -322,7 +350,7 @@ fn lint_file(
                             "dp-alloc",
                             format!(
                                 "{rel}:{line_no}: `{marker}` inside a zero-alloc \
-                                 `fn *_into` DP body"
+                                 `fn *_into` body"
                             ),
                         ),
                         rel,
@@ -585,6 +613,48 @@ pub fn after() { let v = vec![1]; }\n";
         let fired: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
         assert_eq!(fired, vec!["dp-alloc"], "{report}");
         assert!(report.diagnostics[0].message.contains(":5:"));
+    }
+
+    #[test]
+    fn rwlock_rule_fires_only_in_rrr_scope() {
+        let src = "\
+use parking_lot::RwLock;\n\
+pub fn share(graph: &RwLock<u32>) -> u32 {\n\
+    *graph.read()\n\
+}\n";
+        let mut report = ValidationReport::default();
+        let rules = Rules { rrr_lock: true, ..Rules::default() };
+        lint_file(src, "crates/core/src/rrr.rs", rules, &[], &mut [], &mut report);
+        let fired: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(fired, vec!["rrr-rwlock", "rrr-rwlock"], "{report}");
+        // The same file with the rule off is clean; comments never count.
+        let mut off = ValidationReport::default();
+        lint_file(src, "x.rs", Rules::default(), &[], &mut [], &mut off);
+        assert!(off.is_clean(), "{off}");
+        let mut comment = ValidationReport::default();
+        lint_file(
+            "// RwLock was removed here.\npub fn f() {}\n",
+            "crates/core/src/rrr.rs",
+            rules,
+            &[],
+            &mut [],
+            &mut comment,
+        );
+        assert!(comment.is_clean(), "{comment}");
+    }
+
+    #[test]
+    fn zero_alloc_rule_covers_the_maze_search_body() {
+        let src = "\
+pub fn search_into(&self, scratch: &mut MazeScratch) {\n\
+    let extra: Vec<u32> = (0..4).collect();\n\
+    scratch.path.push(extra.len());\n\
+}\n";
+        let mut report = ValidationReport::default();
+        let rules = Rules { dp: true, ..Rules::default() };
+        lint_file(src, "crates/maze/src/router.rs", rules, &[], &mut [], &mut report);
+        let fired: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(fired, vec!["dp-alloc"], "{report}");
     }
 
     #[test]

@@ -365,6 +365,7 @@ impl Router {
         let mut trace = recorder.take_trace();
         trace.set_pattern_summary(pattern.batch_count, pattern_shorts);
         trace.set_rrr_nets_ripped(rrr.nets_ripped.clone());
+        trace.set_rrr_scan_summary(rrr.dirty_edges, rrr.rescans_avoided);
         // The deprecated fields stay populated for back-compat until
         // their removal.
         #[allow(deprecated)]

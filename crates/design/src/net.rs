@@ -118,10 +118,19 @@ impl Net {
 
     /// Distinct pin G-cell positions, sorted.
     pub fn distinct_positions(&self) -> Vec<Point2> {
-        let mut v: Vec<Point2> = self.pins.iter().map(|p| p.position).collect();
-        v.sort_unstable();
-        v.dedup();
+        let mut v = Vec::new();
+        self.distinct_positions_into(&mut v);
         v
+    }
+
+    /// Writes the distinct, sorted pin positions into `out` (cleared
+    /// first). Reusing one buffer across nets keeps hot loops free of
+    /// per-net allocations once `out` reaches its high-water capacity.
+    pub fn distinct_positions_into(&self, out: &mut Vec<Point2>) {
+        out.clear();
+        out.extend(self.pins.iter().map(|p| p.position));
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -351,6 +360,26 @@ mod tests {
             ],
         );
         assert_eq!(n.distinct_positions().len(), 2);
+    }
+
+    #[test]
+    fn distinct_positions_into_reuses_buffer() {
+        let a = Net::new(
+            NetId(0),
+            "a",
+            vec![
+                Pin::new(Point2::new(4, 4), 0),
+                Pin::new(Point2::new(1, 1), 0),
+                Pin::new(Point2::new(4, 4), 0),
+            ],
+        );
+        let b = Net::new(NetId(1), "b", vec![Pin::new(Point2::new(9, 9), 0)]);
+        let mut buf = Vec::new();
+        a.distinct_positions_into(&mut buf);
+        assert_eq!(buf, a.distinct_positions());
+        // The stale contents from the previous net never leak through.
+        b.distinct_positions_into(&mut buf);
+        assert_eq!(buf, vec![Point2::new(9, 9)]);
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! The routing-resource graph: capacities, demands and edge costs.
+//!
+//! Demand is stored in lock-free fixed-point [`AtomicU64`] cells so that
+//! conflict-free rip-up-and-reroute tasks can commit and uncommit routes
+//! concurrently through a shared `&GridGraph` — see
+//! [`GridGraph::commit_atomic`] for the exact contract.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::congestion::CongestionReport;
 use crate::cost::CostParams;
@@ -9,15 +15,161 @@ use crate::geom::{Point2, Rect};
 use crate::layer::{Direction, LayerInfo};
 use crate::route::Route;
 
+/// Number of fractional bits in the fixed-point demand representation.
+///
+/// Demand updates are commutative exact-integer additions, so the final
+/// state of any concurrent mix of commits and uncommits is bit-identical to
+/// the same multiset of updates applied sequentially — the property the
+/// atomic-parity proptest pins down. A 2^-20 resolution keeps the common
+/// track increments (±1.0 and small dyadic fractions) exactly representable.
+const DEMAND_FRAC_BITS: u32 = 20;
+const DEMAND_SCALE: f64 = (1u64 << DEMAND_FRAC_BITS) as f64;
+
+/// Converts a (possibly negative) demand amount to its fixed-point form.
+fn demand_to_fixed(amount: f64) -> i64 {
+    debug_assert!(amount.is_finite());
+    (amount * DEMAND_SCALE).round() as i64
+}
+
+/// Converts a fixed-point cell (two's-complement `i64` stored in `u64`)
+/// back to a demand value.
+fn fixed_to_demand(raw: u64) -> f64 {
+    raw as i64 as f64 / DEMAND_SCALE
+}
+
 /// Per-layer storage of wire-edge capacity, demand and history cost.
-#[derive(Debug, Clone)]
+///
+/// Demand lives in atomic fixed-point cells (see [`demand_to_fixed`]) so
+/// routes can be committed and ripped up from many threads without a lock.
+/// Capacity and history stay plain `f64`: they are only mutated between
+/// iterations through `&mut self`, so they never race with the shared-state
+/// demand updates.
+#[derive(Debug)]
 struct Plane {
     capacity: Vec<f64>,
-    demand: Vec<f64>,
+    demand: Vec<AtomicU64>,
     /// Accumulated negotiation history (NTHU-Route / Archer style): edges
     /// that keep overflowing accrue extra cost so later iterations learn to
     /// avoid them even when their instantaneous congestion looks tolerable.
     history: Vec<f64>,
+}
+
+impl Plane {
+    fn demand_at(&self, i: usize) -> f64 {
+        fixed_to_demand(self.demand[i].load(Ordering::Relaxed))
+    }
+}
+
+impl Clone for Plane {
+    fn clone(&self) -> Self {
+        Self {
+            capacity: self.capacity.clone(),
+            demand: self
+                .demand
+                .iter()
+                .map(|d| AtomicU64::new(d.load(Ordering::Relaxed)))
+                .collect(),
+            history: self.history.clone(),
+        }
+    }
+}
+
+fn zeroed_atomics(n: usize) -> Vec<AtomicU64> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+/// Lock-free tracker of the wire edges whose demand changed since the last
+/// [`GridGraph::clear_dirty`].
+///
+/// One bit per wire edge (planes concatenated in layer order) plus a
+/// conservative bounding rectangle over the lower endpoints of dirtied
+/// edges, used as a cheap prefilter before per-edge bit tests. Everything is
+/// updated with relaxed atomics; the tracker is only *read* between RRR
+/// iterations, after the executor has joined its workers, so the thread join
+/// supplies the happens-before edge the relaxed stores rely on.
+#[derive(Debug)]
+struct DirtyTracker {
+    words: Vec<AtomicU64>,
+    /// Number of distinct edges dirtied since the last clear.
+    count: AtomicU64,
+    min_x: AtomicU32,
+    min_y: AtomicU32,
+    max_x: AtomicU32,
+    max_y: AtomicU32,
+}
+
+impl DirtyTracker {
+    fn new(bits: usize) -> Self {
+        Self {
+            words: zeroed_atomics(bits.div_ceil(64)),
+            count: AtomicU64::new(0),
+            min_x: AtomicU32::new(u32::MAX),
+            min_y: AtomicU32::new(u32::MAX),
+            max_x: AtomicU32::new(0),
+            max_y: AtomicU32::new(0),
+        }
+    }
+
+    /// Marks edge bit `bit` dirty; `p` is the edge's lower endpoint.
+    fn mark(&self, bit: usize, p: Point2) {
+        let mask = 1u64 << (bit & 63);
+        if self.words[bit >> 6].fetch_or(mask, Ordering::Relaxed) & mask == 0 {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        self.min_x.fetch_min(p.x as u32, Ordering::Relaxed);
+        self.min_y.fetch_min(p.y as u32, Ordering::Relaxed);
+        self.max_x.fetch_max(p.x as u32, Ordering::Relaxed);
+        self.max_y.fetch_max(p.y as u32, Ordering::Relaxed);
+    }
+
+    fn is_set(&self, bit: usize) -> bool {
+        self.words[bit >> 6].load(Ordering::Relaxed) & (1u64 << (bit & 63)) != 0
+    }
+
+    fn clear(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+        *self.count.get_mut() = 0;
+        *self.min_x.get_mut() = u32::MAX;
+        *self.min_y.get_mut() = u32::MAX;
+        *self.max_x.get_mut() = 0;
+        *self.max_y.get_mut() = 0;
+    }
+
+    /// Bounding rectangle of all dirty edge endpoints, `None` when clean.
+    fn rect(&self) -> Option<Rect> {
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        Some(Rect::new(
+            Point2::new(
+                self.min_x.load(Ordering::Relaxed) as u16,
+                self.min_y.load(Ordering::Relaxed) as u16,
+            ),
+            Point2::new(
+                self.max_x.load(Ordering::Relaxed) as u16,
+                self.max_y.load(Ordering::Relaxed) as u16,
+            ),
+        ))
+    }
+}
+
+impl Clone for DirtyTracker {
+    fn clone(&self) -> Self {
+        Self {
+            words: self
+                .words
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            count: AtomicU64::new(self.count.load(Ordering::Relaxed)),
+            min_x: AtomicU32::new(self.min_x.load(Ordering::Relaxed)),
+            min_y: AtomicU32::new(self.min_y.load(Ordering::Relaxed)),
+            max_x: AtomicU32::new(self.max_x.load(Ordering::Relaxed)),
+            max_y: AtomicU32::new(self.max_y.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// The 3-D global-routing grid graph `G(V, E)`.
@@ -28,6 +180,12 @@ struct Plane {
 /// a `capacity` (available tracks) and a `demand` (tracks consumed by
 /// committed routes); via edges track demand against a per-G-cell via
 /// capacity from [`CostParams`].
+///
+/// Demand is quantised to multiples of 2^-20 tracks and stored in atomic
+/// cells, so [`GridGraph::commit_atomic`] / [`GridGraph::uncommit_atomic`]
+/// work through a shared reference and concurrent updates from disjoint
+/// tasks never contend on a lock. All read accessors return the quantised
+/// value; integral and small dyadic amounts round-trip exactly.
 ///
 /// Layer 0 is the pin layer: it carries no routing capacity by convention
 /// (its capacity defaults to 0 and [`GridGraph::fill_capacity`] leaves it
@@ -52,16 +210,20 @@ struct Plane {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GridGraph {
     width: u16,
     height: u16,
     layers: Vec<LayerInfo>,
     params: CostParams,
     planes: Vec<Plane>,
+    /// First dirty-bitset bit of each plane's wire edges (prefix sums of
+    /// plane sizes, pin layer included for uniform indexing).
+    edge_offsets: Vec<usize>,
     /// Via demand indexed `[boundary * w * h + y * w + x]` where `boundary`
     /// is the lower layer of the hop (0..layers-1).
-    via_demand: Vec<f64>,
+    via_demand: Vec<AtomicU64>,
+    dirty: DirtyTracker,
 }
 
 impl GridGraph {
@@ -83,6 +245,8 @@ impl GridGraph {
             });
         }
         let infos: Vec<LayerInfo> = (0..layers).map(|l| LayerInfo::new(l, 0.0)).collect();
+        let mut edge_offsets = Vec::with_capacity(infos.len());
+        let mut total_edges = 0usize;
         let planes = infos
             .iter()
             .map(|info| {
@@ -90,21 +254,26 @@ impl GridGraph {
                     Direction::Horizontal => (width as usize - 1) * height as usize,
                     Direction::Vertical => width as usize * (height as usize - 1),
                 };
+                edge_offsets.push(total_edges);
+                total_edges += n;
                 Plane {
                     capacity: vec![0.0; n],
-                    demand: vec![0.0; n],
+                    demand: zeroed_atomics(n),
                     history: vec![0.0; n],
                 }
             })
             .collect();
-        let via_demand = vec![0.0; (layers as usize - 1) * width as usize * height as usize];
+        let via_demand =
+            zeroed_atomics((layers as usize - 1) * width as usize * height as usize);
         Ok(Self {
             width,
             height,
             layers: infos,
             params,
             planes,
+            edge_offsets,
             via_demand,
+            dirty: DirtyTracker::new(total_edges),
         })
     }
 
@@ -218,13 +387,14 @@ impl GridGraph {
     /// direction, or `None` if no such edge exists.
     pub fn wire_demand(&self, l: u8, p: Point2) -> Option<f64> {
         self.edge_index(l, p)
-            .map(|i| self.planes[l as usize].demand[i])
+            .map(|i| self.planes[l as usize].demand_at(i))
     }
 
     /// Via demand through the boundary between layers `l` and `l + 1` at
     /// G-cell `p`, or `None` when out of range.
     pub fn via_demand(&self, l: u8, p: Point2) -> Option<f64> {
-        self.via_index(l, p).map(|i| self.via_demand[i])
+        self.via_index(l, p)
+            .map(|i| fixed_to_demand(self.via_demand[i].load(Ordering::Relaxed)))
     }
 
     fn via_index(&self, lower: u8, p: Point2) -> Option<usize> {
@@ -245,7 +415,7 @@ impl GridGraph {
             Some(i) => {
                 let plane = &self.planes[l as usize];
                 self.params
-                    .wire_edge_cost(plane.demand[i], plane.capacity[i])
+                    .wire_edge_cost(plane.demand_at(i), plane.capacity[i])
                     + plane.history[i]
             }
             None => f64::INFINITY,
@@ -264,7 +434,7 @@ impl GridGraph {
         let mut penalised = 0;
         for plane in self.planes.iter_mut().skip(1) {
             for i in 0..plane.demand.len() {
-                if plane.demand[i] > plane.capacity[i] {
+                if fixed_to_demand(*plane.demand[i].get_mut()) > plane.capacity[i] {
                     plane.history[i] += increment;
                     penalised += 1;
                 }
@@ -285,7 +455,9 @@ impl GridGraph {
     /// Returns `f64::INFINITY` when out of range.
     pub fn via_edge_cost(&self, l: u8, p: Point2) -> f64 {
         match self.via_index(l, p) {
-            Some(i) => self.params.via_edge_cost(self.via_demand[i]),
+            Some(i) => self
+                .params
+                .via_edge_cost(fixed_to_demand(self.via_demand[i].load(Ordering::Relaxed))),
             None => f64::INFINITY,
         }
     }
@@ -325,7 +497,7 @@ impl GridGraph {
                     let i = base + x as usize;
                     total += self
                         .params
-                        .wire_edge_cost(plane.demand[i], plane.capacity[i])
+                        .wire_edge_cost(plane.demand_at(i), plane.capacity[i])
                         + plane.history[i];
                 }
             }
@@ -336,7 +508,7 @@ impl GridGraph {
                     let i = base + y as usize;
                     total += self
                         .params
-                        .wire_edge_cost(plane.demand[i], plane.capacity[i])
+                        .wire_edge_cost(plane.demand_at(i), plane.capacity[i])
                         + plane.history[i];
                 }
             }
@@ -372,6 +544,16 @@ impl GridGraph {
         b: Point2,
         amount: f64,
     ) -> Result<(), GridError> {
+        self.add_wire_demand_shared(l, a, b, amount)
+    }
+
+    fn add_wire_demand_shared(
+        &self,
+        l: u8,
+        a: Point2,
+        b: Point2,
+        amount: f64,
+    ) -> Result<(), GridError> {
         if a == b {
             return Ok(());
         }
@@ -391,9 +573,13 @@ impl GridGraph {
         if dir != seg_dir {
             return Err(GridError::WrongDirection { segment: seg });
         }
+        let fx = demand_to_fixed(amount) as u64;
+        let plane = &self.planes[l as usize];
+        let offset = self.edge_offsets[l as usize];
         for (from, _to) in seg.unit_edges() {
             let idx = self.edge_index(l, from).expect("validated in-bounds");
-            self.planes[l as usize].demand[idx] += amount;
+            plane.demand[idx].fetch_add(fx, Ordering::Relaxed);
+            self.dirty.mark(offset + idx, from);
         }
         Ok(())
     }
@@ -410,6 +596,16 @@ impl GridGraph {
         l2: u8,
         amount: f64,
     ) -> Result<(), GridError> {
+        self.add_via_demand_shared(p, l1, l2, amount)
+    }
+
+    fn add_via_demand_shared(
+        &self,
+        p: Point2,
+        l1: u8,
+        l2: u8,
+        amount: f64,
+    ) -> Result<(), GridError> {
         let (lo, hi) = (l1.min(l2), l1.max(l2));
         if !self.contains(p) {
             return Err(GridError::OutOfBounds {
@@ -420,9 +616,10 @@ impl GridGraph {
         if hi as usize >= self.layers.len() {
             return Err(GridError::InvalidViaSpan { lo, hi });
         }
+        let fx = demand_to_fixed(amount) as u64;
         for l in lo..hi {
             let i = self.via_index(l, p).expect("validated in-bounds");
-            self.via_demand[i] += amount;
+            self.via_demand[i].fetch_add(fx, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -435,7 +632,7 @@ impl GridGraph {
     /// out-of-grid or wrong-direction geometry; validate routes first when
     /// that matters (router-produced routes are always valid).
     pub fn commit(&mut self, route: &Route) -> Result<(), GridError> {
-        self.apply(route, 1.0)
+        self.apply_shared(route, 1.0)
     }
 
     /// Removes the demand of a previously committed `route`.
@@ -444,17 +641,94 @@ impl GridGraph {
     ///
     /// Same conditions as [`GridGraph::commit`].
     pub fn uncommit(&mut self, route: &Route) -> Result<(), GridError> {
-        self.apply(route, -1.0)
+        self.apply_shared(route, -1.0)
     }
 
-    fn apply(&mut self, route: &Route, amount: f64) -> Result<(), GridError> {
+    /// Commits the demand of `route` through a shared reference.
+    ///
+    /// Every covered edge gains one track of demand via a relaxed
+    /// `fetch_add` on its fixed-point cell; tasks whose routes touch
+    /// disjoint edges never contend, and overlapping updates are exact
+    /// commutative integer additions, so the final demand state is
+    /// bit-identical to any sequential ordering of the same operations.
+    ///
+    /// **Benign-race contract**: a concurrent *reader* (a maze search
+    /// costing edges inside its window margin) may observe another task's
+    /// route half-committed. This is the congestion-staleness approximation
+    /// the paper makes for bounding-box-disjoint tasks — the task-graph
+    /// schedule serializes tasks whose inflated boxes overlap, and margin
+    /// reads outside the box only perturb costs, never correctness.
+    /// Aggregate accounting ([`GridGraph::report`],
+    /// [`GridGraph::route_has_overflow`], history updates) must only run
+    /// between iterations, after worker threads have been joined.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GridGraph::commit`].
+    pub fn commit_atomic(&self, route: &Route) -> Result<(), GridError> {
+        self.apply_shared(route, 1.0)
+    }
+
+    /// Removes the demand of a previously committed `route` through a
+    /// shared reference; the exact inverse of [`GridGraph::commit_atomic`],
+    /// with the same contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GridGraph::commit`].
+    pub fn uncommit_atomic(&self, route: &Route) -> Result<(), GridError> {
+        self.apply_shared(route, -1.0)
+    }
+
+    fn apply_shared(&self, route: &Route, amount: f64) -> Result<(), GridError> {
         for s in route.segments() {
-            self.add_wire_demand(s.layer, s.from, s.to, amount)?;
+            self.add_wire_demand_shared(s.layer, s.from, s.to, amount)?;
         }
         for v in route.vias() {
-            self.add_via_demand(v.at, v.lo, v.hi, amount)?;
+            self.add_via_demand_shared(v.at, v.lo, v.hi, amount)?;
         }
         Ok(())
+    }
+
+    /// Number of distinct wire edges whose demand changed since the last
+    /// [`GridGraph::clear_dirty`] (vias are excluded: they have no capacity
+    /// and can never overflow).
+    pub fn dirty_edges(&self) -> u64 {
+        self.dirty.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets the dirty-edge tracker; subsequent demand updates start a new
+    /// dirty set. Requires `&mut self` and therefore quiescence.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Whether any unit wire edge covered by `route` is in the current
+    /// dirty set — i.e. whether the route's overflow status may have
+    /// changed since [`GridGraph::clear_dirty`].
+    ///
+    /// A bounding-rectangle prefilter rejects routes far from the dirtied
+    /// region before any per-edge bit tests run. Conservative: may return
+    /// `true` for a route whose overflow status is unchanged, never `false`
+    /// for one whose status changed (every demand update marks its edge).
+    pub fn route_touches_dirty(&self, route: &Route) -> bool {
+        let Some(rect) = self.dirty.rect() else {
+            return false;
+        };
+        for s in route.segments() {
+            if !Rect::new(s.from, s.to).intersects(&rect) {
+                continue;
+            }
+            let offset = self.edge_offsets[s.layer as usize];
+            for (from, _to) in s.unit_edges() {
+                if let Some(i) = self.edge_index(s.layer, from) {
+                    if self.dirty.is_set(offset + i) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
 
     /// Evaluates the current cost of `route` against the present demand
@@ -477,7 +751,7 @@ impl GridGraph {
             let l = s.layer as usize;
             for (from, _) in s.unit_edges() {
                 if let Some(i) = self.edge_index(s.layer, from) {
-                    if self.planes[l].demand[i] > self.planes[l].capacity[i] {
+                    if self.planes[l].demand_at(i) > self.planes[l].capacity[i] {
                         return true;
                     }
                 }
@@ -490,7 +764,8 @@ impl GridGraph {
     pub fn report(&self) -> CongestionReport {
         let mut r = CongestionReport::default();
         for plane in self.planes.iter().skip(1) {
-            for (&d, &c) in plane.demand.iter().zip(&plane.capacity) {
+            for (d, &c) in plane.demand.iter().zip(&plane.capacity) {
+                let d = fixed_to_demand(d.load(Ordering::Relaxed));
                 r.total_wire_demand += d;
                 r.total_wire_capacity += c;
                 if d > c {
@@ -502,7 +777,11 @@ impl GridGraph {
                 }
             }
         }
-        r.total_via_demand = self.via_demand.iter().sum();
+        r.total_via_demand = self
+            .via_demand
+            .iter()
+            .map(|d| fixed_to_demand(d.load(Ordering::Relaxed)))
+            .sum();
         r
     }
 
@@ -519,7 +798,7 @@ impl GridGraph {
                         Self::edge_index_raw(self.layers[l].direction, self.width, self.height, p)
                     {
                         if plane.capacity[i] > 0.0 {
-                            let u = plane.demand[i] / plane.capacity[i];
+                            let u = plane.demand_at(i) / plane.capacity[i];
                             let cell = y as usize * self.width as usize + x as usize;
                             if u > heat[cell] {
                                 heat[cell] = u;
@@ -530,6 +809,25 @@ impl GridGraph {
             }
         }
         heat
+    }
+}
+
+impl Clone for GridGraph {
+    fn clone(&self) -> Self {
+        Self {
+            width: self.width,
+            height: self.height,
+            layers: self.layers.clone(),
+            params: self.params,
+            planes: self.planes.clone(),
+            edge_offsets: self.edge_offsets.clone(),
+            via_demand: self
+                .via_demand
+                .iter()
+                .map(|d| AtomicU64::new(d.load(Ordering::Relaxed)))
+                .collect(),
+            dirty: self.dirty.clone(),
+        }
     }
 }
 
@@ -627,6 +925,95 @@ mod tests {
         let after = g.report();
         assert_eq!(after.total_wire_demand, before.total_wire_demand);
         assert_eq!(after.total_via_demand, before.total_via_demand);
+    }
+
+    #[test]
+    fn atomic_commit_matches_exclusive_commit() {
+        let mut exclusive = graph();
+        let shared = graph();
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(1, 2), Point2::new(6, 2)));
+        route.push_via(Via::new(Point2::new(6, 2), 1, 2));
+        route.push_segment(Segment::new(2, Point2::new(6, 2), Point2::new(6, 7)));
+
+        exclusive.commit(&route).expect("valid route");
+        shared.commit_atomic(&route).expect("valid route");
+        assert_eq!(
+            exclusive.report().total_wire_demand,
+            shared.report().total_wire_demand
+        );
+        assert_eq!(
+            exclusive.wire_demand(1, Point2::new(1, 2)),
+            shared.wire_demand(1, Point2::new(1, 2))
+        );
+
+        shared.uncommit_atomic(&route).expect("valid route");
+        assert_eq!(shared.report().total_wire_demand, 0.0);
+        assert_eq!(shared.report().total_via_demand, 0.0);
+    }
+
+    #[test]
+    fn fixed_point_round_trips_track_amounts() {
+        for amount in [1.0, -1.0, 0.5, 2.25, -3.75, 1024.0] {
+            let fx = demand_to_fixed(amount);
+            assert_eq!(fixed_to_demand(fx as u64), amount);
+        }
+        // Negative totals round-trip through the two's-complement store.
+        let cell = AtomicU64::new(0);
+        cell.fetch_add(demand_to_fixed(-2.5) as u64, Ordering::Relaxed);
+        cell.fetch_add(demand_to_fixed(1.0) as u64, Ordering::Relaxed);
+        assert_eq!(fixed_to_demand(cell.load(Ordering::Relaxed)), -1.5);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_demand_updates() {
+        let mut g = graph();
+        assert_eq!(g.dirty_edges(), 0);
+
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(2, 2), Point2::new(5, 2)));
+        g.commit(&route).expect("valid");
+        assert_eq!(g.dirty_edges(), 3);
+        assert!(g.route_touches_dirty(&route));
+
+        // Re-committing the same edges does not grow the dirty count.
+        g.commit(&route).expect("valid");
+        assert_eq!(g.dirty_edges(), 3);
+
+        // A distant route is rejected by the rect prefilter.
+        let mut far = Route::new();
+        far.push_segment(Segment::new(2, Point2::new(9, 6), Point2::new(9, 9)));
+        assert!(!g.route_touches_dirty(&far));
+
+        // A route overlapping the dirty rect but covering only clean edges.
+        let mut near = Route::new();
+        near.push_segment(Segment::new(2, Point2::new(3, 1), Point2::new(3, 4)));
+        assert!(!g.route_touches_dirty(&near));
+
+        g.clear_dirty();
+        assert_eq!(g.dirty_edges(), 0);
+        assert!(!g.route_touches_dirty(&route));
+
+        // Uncommits dirty their edges too.
+        g.uncommit(&route).expect("valid");
+        assert_eq!(g.dirty_edges(), 3);
+        assert!(g.route_touches_dirty(&route));
+    }
+
+    #[test]
+    fn clone_preserves_demand_and_dirty_state() {
+        let mut g = graph();
+        let mut route = Route::new();
+        route.push_segment(Segment::new(1, Point2::new(0, 0), Point2::new(4, 0)));
+        g.commit(&route).expect("valid");
+        let copy = g.clone();
+        assert_eq!(copy.wire_demand(1, Point2::new(1, 0)), Some(1.0));
+        assert_eq!(copy.dirty_edges(), g.dirty_edges());
+        assert!(copy.route_touches_dirty(&route));
+        // The copy's demand cells are independent of the original's.
+        copy.commit_atomic(&route).expect("valid");
+        assert_eq!(g.wire_demand(1, Point2::new(1, 0)), Some(1.0));
+        assert_eq!(copy.wire_demand(1, Point2::new(1, 0)), Some(2.0));
     }
 
     #[test]

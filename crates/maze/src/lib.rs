@@ -39,4 +39,4 @@
 
 mod router;
 
-pub use router::{MazeConfig, MazeError, MazeRouter, MazeStats};
+pub use router::{MazeConfig, MazeError, MazeRouter, MazeScratch, MazeStats};

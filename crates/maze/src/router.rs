@@ -16,6 +16,16 @@ fn to_fixed(c: f64) -> u64 {
     (c * COST_SCALE).round() as u64
 }
 
+/// Admissible A* heuristic: Manhattan distance to the target at the
+/// cheapest possible per-edge cost (0 when running plain Dijkstra).
+fn heuristic(astar: bool, unit_wire: f64, target: Point2, p: Point3) -> u64 {
+    if astar {
+        to_fixed(p.xy().manhattan_distance(target) as f64 * unit_wire)
+    } else {
+        0
+    }
+}
+
 /// Configuration of the maze router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MazeConfig {
@@ -82,8 +92,17 @@ pub struct MazeRouter {
     config: MazeConfig,
 }
 
-/// Dense per-window search state, reused across the pins of one net.
-struct Window {
+/// Reusable search state for [`MazeRouter::route_into`].
+///
+/// Owns the dense per-window arrays (`dist`/`prev`/`gen`), the priority
+/// queue, and every intermediate buffer a routing call needs. All buffers
+/// grow to a high-water mark and are recycled via generation stamping, so
+/// after a warm-up call the steady-state search loop performs **zero heap
+/// allocation** — keep one scratch per worker thread and route every net
+/// through it, mirroring the pattern stage's `DpScratch` discipline.
+#[derive(Debug)]
+pub struct MazeScratch {
+    /// Current search window (set by `bind`, valid for one routing call).
     rect: Rect,
     w: usize,
     h: usize,
@@ -93,21 +112,54 @@ struct Window {
     /// Visit generation so we can reuse the buffers without clearing.
     gen: Vec<u32>,
     current_gen: u32,
+    /// Priority queue of (f = g + h, index).
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Back-traced vertex path of the most recent two-pin search.
+    path: Vec<usize>,
+    /// Window indices of the connected component grown so far.
+    component: Vec<usize>,
+    /// Pins not yet connected to the component.
+    remaining: Vec<Point2>,
+    /// Deduplicated, sorted copy of the caller's pins.
+    distinct: Vec<Point2>,
 }
 
-impl Window {
-    fn new(rect: Rect, layers: usize) -> Self {
-        let w = rect.width() as usize;
-        let h = rect.height() as usize;
-        let n = w * h * layers;
+impl Default for MazeScratch {
+    fn default() -> Self {
         Self {
-            rect,
-            w,
-            h,
-            dist: vec![u64::MAX; n],
-            prev: vec![0; n],
-            gen: vec![0; n],
+            rect: Rect::new(Point2::new(0, 0), Point2::new(0, 0)),
+            w: 0,
+            h: 0,
+            dist: Vec::new(),
+            prev: Vec::new(),
+            gen: Vec::new(),
             current_gen: 0,
+            heap: BinaryHeap::new(),
+            path: Vec::new(),
+            component: Vec::new(),
+            remaining: Vec::new(),
+            distinct: Vec::new(),
+        }
+    }
+}
+
+impl MazeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebinds the scratch to a new search window, growing the dense
+    /// arrays to the high-water mark (never shrinking).
+    fn bind(&mut self, rect: Rect, layers: usize) {
+        self.rect = rect;
+        self.w = rect.width() as usize;
+        self.h = rect.height() as usize;
+        let n = self.w * self.h * layers;
+        if n > self.dist.len() {
+            self.dist.resize(n, u64::MAX);
+            self.prev.resize(n, 0);
+            self.gen.resize(n, 0);
         }
     }
 
@@ -130,10 +182,16 @@ impl Window {
     }
 
     fn next_generation(&mut self) {
+        if self.current_gen == u32::MAX {
+            // Generation counter wrapped: reset the stamps once rather than
+            // clearing `dist` on every search.
+            self.gen.fill(0);
+            self.current_gen = 0;
+        }
         self.current_gen += 1;
     }
 
-    fn dist(&self, idx: usize) -> u64 {
+    fn dist_at(&self, idx: usize) -> u64 {
         if self.gen[idx] == self.current_gen {
             self.dist[idx]
         } else {
@@ -147,11 +205,25 @@ impl Window {
         self.prev[idx] = prev.map_or(0, |p| p as u32 + 1);
     }
 
-    fn prev(&self, idx: usize) -> Option<usize> {
+    fn prev_at(&self, idx: usize) -> Option<usize> {
         if self.gen[idx] == self.current_gen && self.prev[idx] != 0 {
             Some(self.prev[idx] as usize - 1)
         } else {
             None
+        }
+    }
+
+    /// Relaxes the edge `from -> q` with incremental cost `step`; `h` is
+    /// the precomputed heuristic of `q`.
+    fn relax(&mut self, q: Point3, step: f64, g: u64, from: usize, h: u64) {
+        if !step.is_finite() {
+            return;
+        }
+        let qi = self.index(q);
+        let ng = g.saturating_add(to_fixed(step));
+        if ng < self.dist_at(qi) {
+            self.set(qi, ng, Some(from));
+            self.heap.push(Reverse((ng.saturating_add(h), qi)));
         }
     }
 }
@@ -184,6 +256,10 @@ impl MazeRouter {
 
     /// Like [`MazeRouter::route`] but also returns search statistics.
     ///
+    /// Allocating convenience wrapper around [`MazeRouter::route_into`];
+    /// hot loops should hold a [`MazeScratch`] and call `route_into`
+    /// directly.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`MazeRouter::route`].
@@ -192,6 +268,32 @@ impl MazeRouter {
         graph: &GridGraph,
         pins: &[Point2],
     ) -> Result<(Route, MazeStats), MazeError> {
+        let mut scratch = MazeScratch::new();
+        let mut route = Route::new();
+        let stats = self.route_into(graph, pins, &mut scratch, &mut route)?;
+        debug_assert!(route.is_connected(), "maze route must be connected");
+        Ok((route, stats))
+    }
+
+    /// Routes a net into a caller-provided [`Route`], reusing `scratch`.
+    ///
+    /// `out` is cleared first and holds the normalized result on success
+    /// (its contents are unspecified on error). After a warm-up call that
+    /// grows the scratch to its high-water mark, this performs no heap
+    /// allocation — the property the counting-allocator test and the
+    /// `*_into` zero-alloc lint rule enforce.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MazeRouter::route`].
+    pub fn route_into(
+        &self,
+        graph: &GridGraph,
+        pins: &[Point2],
+        scratch: &mut MazeScratch,
+        out: &mut Route,
+    ) -> Result<MazeStats, MazeError> {
+        out.clear();
         if pins.is_empty() {
             return Err(MazeError::EmptyNet);
         }
@@ -200,143 +302,134 @@ impl MazeRouter {
                 return Err(MazeError::PinOutsideGrid { pin });
             }
         }
-        let mut distinct: Vec<Point2> = pins.to_vec();
-        distinct.sort_unstable();
-        distinct.dedup();
+        scratch.distinct.clear();
+        scratch.distinct.extend_from_slice(pins);
+        scratch.distinct.sort_unstable();
+        scratch.distinct.dedup();
 
         let mut stats = MazeStats::default();
-        if distinct.len() == 1 {
-            return Ok((Route::new(), stats));
+        if scratch.distinct.len() == 1 {
+            return Ok(stats);
         }
 
-        let bbox = Rect::bounding(distinct.iter().copied()).expect("non-empty");
+        let bbox = Rect::bounding(scratch.distinct.iter().copied()).expect("non-empty");
         let window_rect = bbox.inflated(self.config.window_margin, graph.width(), graph.height());
-        let mut window = Window::new(window_rect, graph.num_layers() as usize);
+        scratch.bind(window_rect, graph.num_layers() as usize);
 
         // Component vertices (indices into the window), starting from the
         // first pin on layer 0.
-        let mut component: Vec<usize> = vec![window.index(distinct[0].on_layer(0))];
-        let mut route = Route::new();
+        let anchor = scratch.distinct[0];
+        let first = scratch.index(anchor.on_layer(0));
+        scratch.component.clear();
+        scratch.component.push(first);
 
         // Connect remaining pins, nearest-first to keep paths short.
-        let mut remaining: Vec<Point2> = distinct[1..].to_vec();
-        while !remaining.is_empty() {
+        {
+            let (remaining, distinct) = (&mut scratch.remaining, &scratch.distinct);
+            remaining.clear();
+            remaining.extend_from_slice(&distinct[1..]);
+        }
+        while !scratch.remaining.is_empty() {
             // Pick the unconnected pin closest to the current component bbox
             // (cheap proxy: distance to the first pin).
-            let (pick, _) = remaining
+            let (pick, _) = scratch
+                .remaining
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, p)| p.manhattan_distance(distinct[0]))
+                .min_by_key(|(_, p)| p.manhattan_distance(anchor))
                 .expect("non-empty");
-            let target = remaining.swap_remove(pick);
-            let path = self.search(graph, &mut window, &component, target, &mut stats)?;
+            let target = scratch.remaining.swap_remove(pick);
+            self.search_into(graph, scratch, target, &mut stats)?;
             // Merge path vertices into the component and geometry.
-            Self::emit_geometry(&window, &path, &mut route);
-            for &idx in &path {
-                component.push(idx);
-            }
+            Self::emit_geometry(scratch, out);
+            let (component, path) = (&mut scratch.component, &scratch.path);
+            component.extend_from_slice(path);
         }
-        route.normalize();
-        debug_assert!(route.is_connected(), "maze route must be connected");
-        Ok((route, stats))
+        out.normalize();
+        Ok(stats)
     }
 
-    /// Multi-source Dijkstra/A* from `sources` to `(target, layer 0)`.
-    /// Returns the path as window indices from source side to target.
-    fn search(
+    /// Multi-source Dijkstra/A* from `scratch.component` to `(target,
+    /// layer 0)`. Leaves the path, as window indices from source side to
+    /// target, in `scratch.path`.
+    fn search_into(
         &self,
         graph: &GridGraph,
-        window: &mut Window,
-        sources: &[usize],
+        scratch: &mut MazeScratch,
         target: Point2,
         stats: &mut MazeStats,
-    ) -> Result<Vec<usize>, MazeError> {
+    ) -> Result<(), MazeError> {
         stats.searches += 1;
-        window.next_generation();
-        let target_idx = window.index(target.on_layer(0));
+        scratch.next_generation();
+        let target_idx = scratch.index(target.on_layer(0));
         let unit_wire = graph.params().unit_wire;
-        let heuristic = |p: Point3| -> u64 {
-            if self.config.astar {
-                to_fixed(p.xy().manhattan_distance(target) as f64 * unit_wire)
-            } else {
-                0
-            }
-        };
+        let astar = self.config.astar;
 
-        // Priority queue of (f = g + h, index).
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        for &s in sources {
-            window.set(s, 0, None);
-            heap.push(Reverse((heuristic(window.point(s)), s)));
+        scratch.heap.clear();
+        for i in 0..scratch.component.len() {
+            let s = scratch.component[i];
+            scratch.set(s, 0, None);
+            let h = heuristic(astar, unit_wire, target, scratch.point(s));
+            scratch.heap.push(Reverse((h, s)));
         }
 
-        while let Some(Reverse((_, idx))) = heap.pop() {
-            let g = window.dist(idx);
+        while let Some(Reverse((_, idx))) = scratch.heap.pop() {
+            let g = scratch.dist_at(idx);
             if g == u64::MAX {
                 continue;
             }
-            let p = window.point(idx);
+            let p = scratch.point(idx);
             if idx == target_idx {
                 // Back-trace.
-                let mut path = vec![idx];
+                scratch.path.clear();
+                scratch.path.push(idx);
                 let mut cur = idx;
-                while let Some(prev) = window.prev(cur) {
-                    path.push(prev);
+                while let Some(prev) = scratch.prev_at(cur) {
+                    scratch.path.push(prev);
                     cur = prev;
                 }
-                path.reverse();
-                return Ok(path);
+                scratch.path.reverse();
+                return Ok(());
             }
             stats.expanded += 1;
-
-            let relax = |window: &mut Window,
-                         heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
-                         q: Point3,
-                         step: f64| {
-                if !step.is_finite() {
-                    return;
-                }
-                let qi = window.index(q);
-                let ng = g.saturating_add(to_fixed(step));
-                if ng < window.dist(qi) {
-                    window.set(qi, ng, Some(idx));
-                    heap.push(Reverse((ng.saturating_add(heuristic(q)), qi)));
-                }
-            };
 
             // Wire moves along the preferred direction (layers with capacity).
             let layer = p.layer;
             if layer >= 1 {
                 match graph.layer(layer).direction {
                     Direction::Horizontal => {
-                        if p.x > window.rect.lo.x {
+                        if p.x > scratch.rect.lo.x {
                             let q = Point3::new(p.x - 1, p.y, layer);
                             let cap = graph.wire_capacity(layer, q.xy()).unwrap_or(0.0);
                             if cap > 0.0 {
-                                relax(window, &mut heap, q, graph.wire_edge_cost(layer, q.xy()));
+                                let h = heuristic(astar, unit_wire, target, q);
+                                scratch.relax(q, graph.wire_edge_cost(layer, q.xy()), g, idx, h);
                             }
                         }
-                        if p.x < window.rect.hi.x {
+                        if p.x < scratch.rect.hi.x {
                             let cap = graph.wire_capacity(layer, p.xy()).unwrap_or(0.0);
                             if cap > 0.0 {
                                 let q = Point3::new(p.x + 1, p.y, layer);
-                                relax(window, &mut heap, q, graph.wire_edge_cost(layer, p.xy()));
+                                let h = heuristic(astar, unit_wire, target, q);
+                                scratch.relax(q, graph.wire_edge_cost(layer, p.xy()), g, idx, h);
                             }
                         }
                     }
                     Direction::Vertical => {
-                        if p.y > window.rect.lo.y {
+                        if p.y > scratch.rect.lo.y {
                             let q = Point3::new(p.x, p.y - 1, layer);
                             let cap = graph.wire_capacity(layer, q.xy()).unwrap_or(0.0);
                             if cap > 0.0 {
-                                relax(window, &mut heap, q, graph.wire_edge_cost(layer, q.xy()));
+                                let h = heuristic(astar, unit_wire, target, q);
+                                scratch.relax(q, graph.wire_edge_cost(layer, q.xy()), g, idx, h);
                             }
                         }
-                        if p.y < window.rect.hi.y {
+                        if p.y < scratch.rect.hi.y {
                             let cap = graph.wire_capacity(layer, p.xy()).unwrap_or(0.0);
                             if cap > 0.0 {
                                 let q = Point3::new(p.x, p.y + 1, layer);
-                                relax(window, &mut heap, q, graph.wire_edge_cost(layer, p.xy()));
+                                let h = heuristic(astar, unit_wire, target, q);
+                                scratch.relax(q, graph.wire_edge_cost(layer, p.xy()), g, idx, h);
                             }
                         }
                     }
@@ -345,34 +438,38 @@ impl MazeRouter {
             // Via moves.
             if layer + 1 < graph.num_layers() {
                 let q = Point3::new(p.x, p.y, layer + 1);
-                relax(window, &mut heap, q, graph.via_edge_cost(layer, p.xy()));
+                let h = heuristic(astar, unit_wire, target, q);
+                scratch.relax(q, graph.via_edge_cost(layer, p.xy()), g, idx, h);
             }
             if layer > 0 {
                 let q = Point3::new(p.x, p.y, layer - 1);
-                relax(window, &mut heap, q, graph.via_edge_cost(layer - 1, p.xy()));
+                let h = heuristic(astar, unit_wire, target, q);
+                scratch.relax(q, graph.via_edge_cost(layer - 1, p.xy()), g, idx, h);
             }
         }
         Err(MazeError::NoPath { target })
     }
 
-    /// Converts a back-traced vertex path into merged segments and vias.
-    fn emit_geometry(window: &Window, path: &[usize], route: &mut Route) {
+    /// Converts the back-traced vertex path in `scratch.path` into merged
+    /// segments and vias appended to `route`.
+    fn emit_geometry(scratch: &MazeScratch, route: &mut Route) {
+        let path = &scratch.path;
         if path.len() < 2 {
             return;
         }
-        let pts: Vec<Point3> = path.iter().map(|&i| window.point(i)).collect();
-        let mut run_start = pts[0];
+        let mut run_start = scratch.point(path[0]);
         // Run-length merge: walk the path, cutting whenever the move kind
         // (wire vs via) changes. Same-layer wire runs are always straight
         // because shortest paths never revisit a vertex.
         let mut i = 1;
-        while i < pts.len() {
-            let dir = step_dir(pts[i - 1], pts[i]);
+        while i < path.len() {
+            let dir = step_dir(scratch.point(path[i - 1]), scratch.point(path[i]));
             let mut j = i;
-            while j + 1 < pts.len() && step_dir(pts[j], pts[j + 1]) == dir {
+            while j + 1 < path.len() && step_dir(scratch.point(path[j]), scratch.point(path[j + 1])) == dir
+            {
                 j += 1;
             }
-            let (from, to) = (run_start, pts[j]);
+            let (from, to) = (run_start, scratch.point(path[j]));
             match dir {
                 StepDir::Wire => {
                     route.push_segment(Segment::new(from.layer, from.xy(), to.xy()));
@@ -381,7 +478,7 @@ impl MazeRouter {
                     route.push_via(Via::new(from.xy(), from.layer, to.layer));
                 }
             }
-            run_start = pts[j];
+            run_start = scratch.point(path[j]);
             i = j + 1;
         }
     }
@@ -460,6 +557,48 @@ mod tests {
             MazeRouter::default().route(&g, &[Point2::new(0, 0), Point2::new(99, 0)]),
             Err(MazeError::PinOutsideGrid { .. })
         ));
+    }
+
+    #[test]
+    fn reused_scratch_reproduces_fresh_results() {
+        let g = graph(20, 20, 5);
+        let router = MazeRouter::default();
+        let nets: Vec<Vec<Point2>> = vec![
+            vec![Point2::new(1, 1), Point2::new(12, 9)],
+            vec![Point2::new(18, 2), Point2::new(3, 17), Point2::new(9, 9)],
+            vec![Point2::new(0, 19), Point2::new(19, 0)],
+            vec![Point2::new(5, 5)],
+        ];
+        let mut scratch = MazeScratch::new();
+        let mut out = Route::new();
+        for pins in &nets {
+            let fresh = router.route(&g, pins).expect("routable");
+            let stats = router
+                .route_into(&g, pins, &mut scratch, &mut out)
+                .expect("routable");
+            assert_eq!(&out, &fresh, "scratch reuse changed geometry");
+            assert!(stats.searches as usize + 1 >= pins.len());
+        }
+    }
+
+    #[test]
+    fn route_into_reports_errors_with_reused_scratch() {
+        let g = graph(8, 8, 4);
+        let mut scratch = MazeScratch::new();
+        let mut out = Route::new();
+        let router = MazeRouter::default();
+        // Warm up with a good net, then fail, then route again.
+        router
+            .route_into(&g, &[Point2::new(0, 0), Point2::new(7, 7)], &mut scratch, &mut out)
+            .expect("routable");
+        assert_eq!(
+            router.route_into(&g, &[], &mut scratch, &mut out),
+            Err(MazeError::EmptyNet)
+        );
+        router
+            .route_into(&g, &[Point2::new(2, 2), Point2::new(5, 1)], &mut scratch, &mut out)
+            .expect("routable after error");
+        assert!(out.is_connected());
     }
 
     #[test]
@@ -580,6 +719,26 @@ mod tests {
                 prop_assert!(touched.contains(&Point2::new(ax, ay).on_layer(0)));
                 prop_assert!(touched.contains(&Point2::new(bx, by).on_layer(0)));
             }
+        }
+
+        /// Routing through a reused scratch is geometry-identical to a
+        /// fresh router call, for any pin set.
+        #[test]
+        fn scratch_reuse_is_transparent(
+            pins in proptest::collection::vec((0u16..20, 0u16..20), 1..6)
+        ) {
+            let g = graph(20, 20, 5);
+            let pins: Vec<Point2> = pins.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let router = MazeRouter::default();
+            let mut scratch = MazeScratch::new();
+            let mut out = Route::new();
+            // Warm the scratch on an unrelated net first.
+            router
+                .route_into(&g, &[Point2::new(0, 0), Point2::new(19, 19)], &mut scratch, &mut out)
+                .expect("routable");
+            let fresh = router.route(&g, &pins).expect("routable");
+            router.route_into(&g, &pins, &mut scratch, &mut out).expect("routable");
+            prop_assert_eq!(&out, &fresh);
         }
     }
 }

@@ -165,6 +165,17 @@ impl RunTrace {
         self.nets_ripped = nets_ripped;
     }
 
+    /// Records the incremental overflow-scan summary (mirrored into the
+    /// `rrr.dirty_edges` / `rrr.full_rescan_avoided` counter pair): how
+    /// many wire edges changed demand across the RRR iterations and how
+    /// many per-route overflow rescans the dirty-edge filter skipped.
+    pub fn set_rrr_scan_summary(&mut self, dirty_edges: u64, rescans_avoided: u64) {
+        self.counters
+            .insert("rrr.dirty_edges".to_owned(), dirty_edges as f64);
+        self.counters
+            .insert("rrr.full_rescan_avoided".to_owned(), rescans_avoided as f64);
+    }
+
     /// Sets (or overwrites) a named counter.
     pub fn set_counter(&mut self, name: &str, value: f64) {
         self.counters.insert(name.to_owned(), value);
@@ -336,6 +347,17 @@ mod tests {
         assert_eq!(trace.counter("rrr.iter0.nets_ripped"), Some(12.0));
         assert_eq!(trace.counter("rrr.iterations"), Some(2.0));
         assert!(trace.has_timeline());
+    }
+
+    #[test]
+    fn scan_summary_mirrors_counter_pair() {
+        let mut trace = sample_trace();
+        trace.set_rrr_scan_summary(120, 340);
+        assert_eq!(trace.counter("rrr.dirty_edges"), Some(120.0));
+        assert_eq!(trace.counter("rrr.full_rescan_avoided"), Some(340.0));
+        let sig = trace.deterministic_signature();
+        assert!(sig.contains("counter rrr.dirty_edges = 120"), "{sig}");
+        assert!(sig.contains("counter rrr.full_rescan_avoided = 340"), "{sig}");
     }
 
     #[test]

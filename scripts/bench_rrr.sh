@@ -1,0 +1,13 @@
+#!/bin/sh
+# Worker-sweep benchmark of the rip-up-and-reroute stage.
+#
+#   scripts/bench_rrr.sh            # quick sweep (one hotspot design)
+#   scripts/bench_rrr.sh --full     # the suite's congestion-dominated half
+#
+# Extra flags are passed through to the binary
+# (see `bench_rrr --help`-style doc in crates/bench/src/bin/bench_rrr.rs):
+# --out PATH, --workers N, --iterations N.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --offline -p fastgr-bench
+exec target/release/bench_rrr "$@"

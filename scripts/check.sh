@@ -31,4 +31,8 @@ target/release/fastgr generate tiny --out "$trace_tmp/tiny.txt"
 target/release/fastgr route "$trace_tmp/tiny.txt" --trace "$trace_tmp/trace.json" >/dev/null
 cargo xtask validate-trace "$trace_tmp/trace.json"
 
+echo "== rrr bench smoke =="
+cargo build --release -p fastgr-bench
+target/release/bench_rrr --workers 2 --iterations 2 --out "$trace_tmp/BENCH_rrr.json" >/dev/null
+
 echo "All checks passed."

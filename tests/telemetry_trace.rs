@@ -133,6 +133,13 @@ fn deterministic_signature_matches_golden_file() {
         std::fs::write(path, &signature).expect("write golden file");
         return;
     }
+    // The incremental overflow detector must publish its counter pair into
+    // the deterministic signature on every routed run.
+    assert!(signature.contains("counter rrr.dirty_edges ="), "{signature}");
+    assert!(
+        signature.contains("counter rrr.full_rescan_avoided ="),
+        "{signature}"
+    );
     let golden = include_str!("golden/trace_signature.txt");
     assert_eq!(
         signature, golden,
