@@ -36,6 +36,6 @@ pub mod race;
 pub mod validator;
 
 pub use diagnostics::{Diagnostic, Severity, ValidationReport};
-pub use lint::{lint_workspace, parse_allowlist, AllowEntry};
+pub use lint::{lint_file, lint_workspace, parse_allowlist, AllowEntry, Rules};
 pub use race::{BlockChecker, RaceChecker};
 pub use validator::{validate_batches, validate_schedule, validate_view, ScheduleView};

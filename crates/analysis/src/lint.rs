@@ -1,6 +1,6 @@
 //! Workspace lint pass: text/AST-lite rules the compiler does not enforce.
 //!
-//! Four rules, each scoped to where it matters:
+//! Six rules, each scoped to where it matters:
 //!
 //! 1. **`missing-forbid-unsafe`** — every crate root (`src/lib.rs` of the
 //!    facade, every `crates/*` member and every `shims/*` member) must
@@ -12,12 +12,13 @@
 //!    there either poison a worker pool or abort a long routing run;
 //!    recoverable paths must return errors. Deliberate invariant panics
 //!    are granted case-by-case through the allowlist file.
-//! 3. **`dp-alloc`** — the pattern-routing dynamic program and the maze
-//!    search both promise a zero-allocation steady state (`DpScratch` /
-//!    `MazeScratch` are reused across nets); inside every `fn *_into` of
-//!    `core::dp` and `maze::router` no allocating call (`Vec::new`,
-//!    `vec!`, `with_capacity`, `collect`, `Box::new`, `format!`, …) and
-//!    no `Mutex` may appear.
+//! 3. **`dp-alloc`** — the pattern-routing dynamic program, the maze
+//!    search and the cost prober's rebuild path all promise a
+//!    zero-allocation steady state (`DpScratch` / `MazeScratch` /
+//!    `RebuildScratch` are reused across nets and batches); inside every
+//!    `fn *_into` of `core::dp`, `maze::router` and `grid::prober` no
+//!    allocating call (`Vec::new`, `vec!`, `with_capacity`, `collect`,
+//!    `Box::new`, `format!`, …) and no `Mutex` may appear.
 //! 4. **`timing-instant`** — no `Instant::now()` outside
 //!    `crates/telemetry` (the `fastgr-telemetry::Stopwatch` clock).
 //!    Every crate measures wall time through the one clock, so reported
@@ -30,6 +31,11 @@
 //!    store (`GridGraph::commit_atomic`); reintroducing a reader–writer
 //!    lock around the grid would serialise every commit and defeat the
 //!    parallel design. (Per-task result slots may keep plain mutexes.)
+//! 6. **`dp-direct-cost`** — no `wire_edge_cost` call sites in `core::dp`.
+//!    The pattern kernels read wire-run and via-stack costs through the
+//!    prefix-sum `CostProber` (or its quantised direct-walk twin) in O(1)
+//!    per probe; summing per-edge costs inline would silently reintroduce
+//!    the O(span) inner loop the prober exists to remove.
 //!
 //! The scanner strips line/block comments and string-literal contents, and
 //! skips `#[cfg(test)] mod` bodies by brace tracking, so doc examples and
@@ -151,9 +157,12 @@ pub fn lint_workspace(root: &Path) -> ValidationReport {
         report.tasks_checked += 1;
         let rules = Rules {
             hot: hot.contains(file),
-            dp: rel.ends_with("core/src/dp.rs") || rel.ends_with("maze/src/router.rs"),
+            dp: rel.ends_with("core/src/dp.rs")
+                || rel.ends_with("maze/src/router.rs")
+                || rel.ends_with("grid/src/prober.rs"),
             timing: true,
             rrr_lock: rel.ends_with("core/src/rrr.rs"),
+            dp_direct: rel.ends_with("core/src/dp.rs"),
         };
         lint_file(&text, &rel, rules, &allowlist, &mut used, &mut report);
     }
@@ -188,10 +197,13 @@ pub struct Rules {
     /// Rule 5: `RwLock` ban in the RRR stage (grid sharing goes through
     /// the lock-free atomic congestion store).
     pub rrr_lock: bool,
+    /// Rule 6: `wire_edge_cost` ban in the pattern DP (costs go through
+    /// the prefix-sum `CostProber` probes, not per-edge summation).
+    pub dp_direct: bool,
 }
 
-/// Scans one file for whichever of rules 2–4 `rules` enables.
-fn lint_file(
+/// Scans one file for whichever of rules 2–6 `rules` enables.
+pub fn lint_file(
     text: &str,
     rel: &str,
     rules: Rules,
@@ -315,6 +327,25 @@ fn lint_file(
                     format!(
                         "{rel}:{line_no}: `RwLock` in the RRR stage (share the grid \
                          through `GridGraph::commit_atomic` instead)"
+                    ),
+                ),
+                rel,
+                raw,
+            );
+        }
+
+        // Rule 6: DP kernels must probe aggregate costs, never walk edges.
+        if rules.dp_direct && code.contains("wire_edge_cost") {
+            push_allowed(
+                report,
+                allowlist,
+                used,
+                Diagnostic::error(
+                    "dp-direct-cost",
+                    format!(
+                        "{rel}:{line_no}: `wire_edge_cost` in the pattern DP \
+                         (probe through `CostProber::wire_run_cost` or \
+                         `GridGraph::wire_run_cost_fixed` instead)"
                     ),
                 ),
                 rel,
@@ -653,6 +684,42 @@ pub fn search_into(&self, scratch: &mut MazeScratch) {\n\
         let mut report = ValidationReport::default();
         let rules = Rules { dp: true, ..Rules::default() };
         lint_file(src, "crates/maze/src/router.rs", rules, &[], &mut [], &mut report);
+        let fired: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(fired, vec!["dp-alloc"], "{report}");
+    }
+
+    #[test]
+    fn direct_cost_rule_bans_wire_edge_cost_in_the_dp() {
+        let src = "\
+fn l_shape_into(&self, scratch: &mut DpScratch) {\n\
+    let w = self.graph.params().wire_edge_cost(demand, capacity);\n\
+    scratch.w1.push(w);\n\
+}\n";
+        let mut report = ValidationReport::default();
+        let rules = Rules { dp_direct: true, ..Rules::default() };
+        lint_file(src, "crates/core/src/dp.rs", rules, &[], &mut [], &mut report);
+        let fired: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(fired, vec!["dp-direct-cost"], "{report}");
+        assert!(report.diagnostics[0].message.contains(":2:"), "{report}");
+        // Probe-based cost reads are clean; so are comments.
+        let clean = "\
+//! wire_edge_cost is banned here — probe instead.\n\
+fn l_shape_into(&self) { let w = self.run_cost(l, a, b); }\n";
+        let mut off = ValidationReport::default();
+        lint_file(clean, "crates/core/src/dp.rs", rules, &[], &mut [], &mut off);
+        assert!(off.is_clean(), "{off}");
+    }
+
+    #[test]
+    fn zero_alloc_rule_covers_the_prober_rebuild_path() {
+        let src = "\
+fn rebuild_wire_row_into(&self, graph: &GridGraph, row: usize) {\n\
+    let acc: Vec<u64> = (0..8).collect();\n\
+    let _ = acc;\n\
+}\n";
+        let mut report = ValidationReport::default();
+        let rules = Rules { dp: true, ..Rules::default() };
+        lint_file(src, "crates/grid/src/prober.rs", rules, &[], &mut [], &mut report);
         let fired: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
         assert_eq!(fired, vec!["dp-alloc"], "{report}");
     }

@@ -33,12 +33,24 @@ fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("pattern_kernels");
     for span in [8u16, 24, 48, 96] {
         let tree = SteinerBuilder::new().build(&two_pin_net(span));
+        // Probed: costs are O(1) prefix differences against the prober
+        // built once per `PatternDp::new`. Direct: the same quantised
+        // cost domain summed edge by edge — the O(span) baseline the
+        // prober removes. Identical routes, different work.
         group.bench_with_input(BenchmarkId::new("l_shape", span), &span, |b, _| {
             let dp = PatternDp::new(&g, PatternMode::LShape);
             b.iter(|| black_box(dp.route_net(&tree)));
         });
+        group.bench_with_input(BenchmarkId::new("l_shape_direct", span), &span, |b, _| {
+            let dp = PatternDp::direct(&g, PatternMode::LShape);
+            b.iter(|| black_box(dp.route_net(&tree)));
+        });
         group.bench_with_input(BenchmarkId::new("hybrid", span), &span, |b, _| {
             let dp = PatternDp::new(&g, PatternMode::HybridAll);
+            b.iter(|| black_box(dp.route_net(&tree)));
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid_direct", span), &span, |b, _| {
+            let dp = PatternDp::direct(&g, PatternMode::HybridAll);
             b.iter(|| black_box(dp.route_net(&tree)));
         });
         group.bench_with_input(BenchmarkId::new("z_shape", span), &span, |b, _| {

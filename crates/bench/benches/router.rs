@@ -57,6 +57,7 @@ fn bench_pattern_stage(c: &mut Criterion) {
                     sorting: SortingScheme::HpwlAscending,
                     steiner_passes: 4,
                     congestion_aware_planning: false,
+                    cost_probing: true,
                     validate: false,
                 };
                 black_box(stage.run(&design, &mut graph).expect("routable"))

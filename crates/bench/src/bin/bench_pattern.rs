@@ -12,11 +12,13 @@
 //!               profile (load in Perfetto / chrome://tracing)
 //! ```
 //!
-//! Each benchmark routes twice with the GPU-flow engine: once with one
-//! host worker (serial) and once with `N` workers. The routed geometry
-//! and the modelled device seconds must be identical — the runs differ
-//! only in host wall-clock — and the binary exits non-zero if they are
-//! not.
+//! Each benchmark routes three times with the GPU-flow engine: once with
+//! one host worker (serial, prober on), once with `N` workers (prober
+//! on), and once with `N` workers probing off (the direct per-edge cost
+//! walk — what the prefix-sum cost cache saves). The routed geometry must
+//! be identical across all three — the binary exits non-zero if not —
+//! and the prober's cache-build wall time is measured separately so the
+//! snapshot shows build cost next to probe savings.
 
 use std::env;
 use std::fmt::Write as _;
@@ -25,17 +27,26 @@ use std::process::ExitCode;
 use fastgr_core::{PatternEngine, PatternMode, PatternOutcome, PatternStage, SortingScheme};
 use fastgr_design::{suite, BenchmarkSpec};
 use fastgr_gpu::{DeviceConfig, HostPool};
-use fastgr_telemetry::Recorder;
+use fastgr_grid::CostProber;
+use fastgr_telemetry::{Recorder, Stopwatch};
 
 struct Row {
     name: &'static str,
     nets: u32,
     serial_seconds: f64,
     parallel_seconds: f64,
+    direct_seconds: f64,
+    cache_build_seconds: f64,
     modeled_seconds: f64,
+    modeled_direct_seconds: f64,
 }
 
-fn run_once(spec: &BenchmarkSpec, workers: usize, recorder: &Recorder) -> PatternOutcome {
+fn run_once(
+    spec: &BenchmarkSpec,
+    workers: usize,
+    cost_probing: bool,
+    recorder: &Recorder,
+) -> PatternOutcome {
     let design = spec.generate();
     let mut graph = design
         .build_graph(fastgr_grid::CostParams::default())
@@ -48,11 +59,28 @@ fn run_once(spec: &BenchmarkSpec, workers: usize, recorder: &Recorder) -> Patter
         sorting: SortingScheme::HpwlAscending,
         steiner_passes: 4,
         congestion_aware_planning: false,
+        cost_probing,
         validate: false,
     };
     stage
         .run_traced(&design, &mut graph, recorder)
         .expect("suite designs route")
+}
+
+/// Wall time of one from-scratch prober build over the spec's empty grid
+/// on `workers` rebuild workers — the upfront cost the probe savings must
+/// amortise.
+fn cache_build_seconds(spec: &BenchmarkSpec, workers: usize) -> f64 {
+    let design = spec.generate();
+    let graph = design
+        .build_graph(fastgr_grid::CostParams::default())
+        .expect("suite designs build");
+    let pool = HostPool::new(workers);
+    let clock = Stopwatch::start();
+    let prober = CostProber::build_with_pool(&graph, &pool);
+    let elapsed = clock.elapsed_seconds();
+    assert_eq!(prober.builds(), 1);
+    elapsed
 }
 
 fn main() -> ExitCode {
@@ -106,47 +134,74 @@ fn main() -> ExitCode {
         specs.truncate(4);
     }
 
-    // Only the parallel runs are recorded: the serial legs stay untouched
-    // so their wall-clock is comparable with historical snapshots.
+    // Only the parallel runs are recorded, and only when tracing was
+    // requested: the timed legs stay untouched so their wall-clock is
+    // comparable with historical snapshots. The prober counters
+    // (`pattern.cost_*`) come from a separate untimed serial leg per spec
+    // on the always-on `counters` recorder — they are deterministic and
+    // worker-count invariant, so the cheap leg reports the same values.
     let recorder = if trace_path.is_some() {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     };
+    let counters = Recorder::enabled();
 
     let mut rows = Vec::with_capacity(specs.len());
     for spec in &specs {
-        let serial = run_once(spec, 1, &Recorder::disabled());
-        let parallel = run_once(spec, workers, &recorder);
+        let serial = run_once(spec, 1, true, &Recorder::disabled());
+        let parallel = run_once(spec, workers, true, &recorder);
+        let direct = run_once(spec, workers, false, &Recorder::disabled());
+        run_once(spec, 1, true, &counters);
         assert_eq!(
             serial.routes, parallel.routes,
             "{}: geometry diverged across worker counts",
             spec.name
         );
+        assert_eq!(
+            parallel.routes, direct.routes,
+            "{}: geometry diverged between probed and direct costs",
+            spec.name
+        );
         let ms = serial.modeled_gpu_seconds.expect("gpu engine models time");
         let mp = parallel.modeled_gpu_seconds.expect("gpu engine models time");
+        let md = direct.modeled_gpu_seconds.expect("gpu engine models time");
         assert_eq!(
             ms.to_bits(),
             mp.to_bits(),
             "{}: modelled seconds diverged across worker counts",
             spec.name
         );
+        assert!(
+            md >= ms,
+            "{}: direct cost walks must model at least the probed work \
+             ({md} < {ms})",
+            spec.name
+        );
+        let build = cache_build_seconds(spec, workers);
         println!(
-            "{:8} {:6} nets  serial {:8.3}s  x{} {:8.3}s  speedup {:5.2}x  modelled {:.6}s",
+            "{:8} {:6} nets  serial {:8.3}s  x{} {:8.3}s  speedup {:5.2}x  \
+             direct {:8.3}s  cache build {:.4}s  modelled {:.6}s (direct {:.6}s)",
             spec.name,
             spec.nets,
             serial.host_seconds,
             workers,
             parallel.host_seconds,
             serial.host_seconds / parallel.host_seconds,
+            direct.host_seconds,
+            build,
             ms,
+            md,
         );
         rows.push(Row {
             name: spec.name,
             nets: spec.nets,
             serial_seconds: serial.host_seconds,
             parallel_seconds: parallel.host_seconds,
+            direct_seconds: direct.host_seconds,
+            cache_build_seconds: build,
             modeled_seconds: ms,
+            modeled_direct_seconds: md,
         });
     }
 
@@ -157,6 +212,22 @@ fn main() -> ExitCode {
         / rows.len() as f64)
         .exp();
     println!("geomean speedup with {workers} workers: {geomean:.2}x");
+    let probe_geomean = (rows
+        .iter()
+        .map(|r| (r.direct_seconds / r.parallel_seconds).ln())
+        .sum::<f64>()
+        / rows.len() as f64)
+        .exp();
+    println!("geomean probe speedup (direct / probed): {probe_geomean:.2}x");
+
+    // The prober counters, accumulated across every spec's counters leg.
+    let counter_trace = counters.take_trace();
+    let counter = |name: &str| counter_trace.counter(name).unwrap_or(0.0);
+    let (builds, rows_rebuilt, probes) = (
+        counter("pattern.cost_cache_builds"),
+        counter("pattern.cost_cache_rows_rebuilt"),
+        counter("pattern.cost_probes"),
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -166,17 +237,25 @@ fn main() -> ExitCode {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"geomean_speedup\": {geomean:.4},");
+    let _ = writeln!(json, "  \"geomean_probe_speedup\": {probe_geomean:.4},");
+    let _ = writeln!(json, "  \"cost_cache_builds\": {builds},");
+    let _ = writeln!(json, "  \"cost_cache_rows_rebuilt\": {rows_rebuilt},");
+    let _ = writeln!(json, "  \"cost_probes\": {probes},");
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"nets\": {}, \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \"modeled_gpu_seconds\": {:.9}}}{}",
+            "    {{\"name\": \"{}\", \"nets\": {}, \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \"direct_seconds\": {:.6}, \"probe_savings_seconds\": {:.6}, \"cache_build_seconds\": {:.6}, \"modeled_gpu_seconds\": {:.9}, \"modeled_direct_gpu_seconds\": {:.9}}}{}",
             r.name,
             r.nets,
             r.serial_seconds,
             r.parallel_seconds,
             r.serial_seconds / r.parallel_seconds,
+            r.direct_seconds,
+            r.direct_seconds - r.parallel_seconds,
+            r.cache_build_seconds,
             r.modeled_seconds,
+            r.modeled_direct_seconds,
             if i + 1 < rows.len() { "," } else { "" },
         );
     }

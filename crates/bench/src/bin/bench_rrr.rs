@@ -82,6 +82,7 @@ fn pattern_route(design: &Design) -> (GridGraph, Vec<Route>) {
         sorting: SortingScheme::HpwlAscending,
         steiner_passes: 4,
         congestion_aware_planning: false,
+        cost_probing: true,
         validate: false,
     }
     .run(design, &mut graph)

@@ -68,6 +68,7 @@ pub fn estimate_congestion(design: &Design) -> Result<CongestionEstimate, RouteE
         sorting: SortingScheme::HpwlAscending,
         steiner_passes: 4,
         congestion_aware_planning: false,
+        cost_probing: true,
         validate: false,
     };
     stage.run(design, &mut graph)?;

@@ -30,7 +30,7 @@ use std::cell::RefCell;
 
 use fastgr_gpu::flow::{merge_min_rows, vec_mat_min_plus_into, Matrix};
 use fastgr_gpu::BlockProfile;
-use fastgr_grid::{GridGraph, Point2, Route, Segment, Via};
+use fastgr_grid::{CostProber, GridGraph, Point2, Route, Segment, Via};
 use fastgr_steiner::{RouteTree, TreeEdge};
 
 use crate::selection::{NetClass, SelectionThresholds};
@@ -148,6 +148,11 @@ pub struct DpScratch {
     merged_argmin: Vec<usize>,
     /// Candidate bend-point pairs of the Z/hybrid flow.
     pairs: Vec<(Point2, Point2)>,
+    /// Hoisted per-bridge-layer wire terms of the Z/hybrid w2/w3 fills
+    /// (`cw(Bs, Bt, b)` and `cw(Bt, T, b)` depend only on `b`, not on the
+    /// source layer, so they are probed once per layer, not `L` times).
+    run2: Vec<f64>,
+    run3: Vec<f64>,
     /// Backtracking stack of `(edge, arrival layer)`.
     bt_stack: Vec<(TreeEdge, u8)>,
 }
@@ -180,6 +185,8 @@ impl DpScratch {
             cand_mid: Vec::new(),
             merged_argmin: Vec::new(),
             pairs: Vec::new(),
+            run2: Vec::new(),
+            run3: Vec::new(),
             bt_stack: Vec::new(),
         }
     }
@@ -197,7 +204,32 @@ thread_local! {
     static ROUTE_NET_SCRATCH: RefCell<DpScratch> = RefCell::new(DpScratch::new());
 }
 
+/// Where the DP reads its wire-run and via-stack costs from.
+///
+/// All three variants work in the same Q44.20 quantised cost domain, so a
+/// probed DP and a direct DP produce bit-identical costs and routes — the
+/// prober only changes *how fast* a cost is obtained (O(1) prefix
+/// difference vs O(run-length) walk).
+#[derive(Debug)]
+enum CostSource<'g> {
+    /// A prober built (and owned) at construction time. Boxed: the
+    /// prober's inline scratch dwarfs the other variants.
+    Owned(Box<CostProber>),
+    /// A caller-managed prober, refreshed between batches by the pattern
+    /// stage.
+    Borrowed(&'g CostProber),
+    /// No cache: every probe walks the grid's quantised edge costs.
+    Direct,
+}
+
 /// The pattern-routing DP engine for one grid state.
+///
+/// Costs are read through a prefix-sum [`CostProber`] snapshot by default
+/// ([`PatternDp::new`] builds one; [`PatternDp::with_prober`] borrows a
+/// caller-managed one so the pattern stage can refresh it incrementally
+/// between batches); [`PatternDp::direct`] skips the cache and walks the
+/// grid per probe — same quantised arithmetic, bit-identical results,
+/// O(run-length) slower per probe.
 ///
 /// # Example
 ///
@@ -226,17 +258,79 @@ thread_local! {
 pub struct PatternDp<'g> {
     graph: &'g GridGraph,
     mode: PatternMode,
+    costs: CostSource<'g>,
 }
 
 impl<'g> PatternDp<'g> {
-    /// Creates a DP engine over the given grid state.
+    /// Creates a DP engine over the given grid state, building an owned
+    /// prefix-sum cost cache of the *current* congestion. The snapshot is
+    /// not refreshed: construct after any demand/history mutation whose
+    /// effect the DP should see (or use [`PatternDp::with_prober`] with an
+    /// incrementally refreshed cache).
     pub fn new(graph: &'g GridGraph, mode: PatternMode) -> Self {
-        Self { graph, mode }
+        Self {
+            graph,
+            mode,
+            costs: CostSource::Owned(Box::new(CostProber::build(graph))),
+        }
+    }
+
+    /// Creates a DP engine reading costs from a caller-managed prober
+    /// (built/refreshed against the same `graph`).
+    pub fn with_prober(graph: &'g GridGraph, mode: PatternMode, prober: &'g CostProber) -> Self {
+        Self {
+            graph,
+            mode,
+            costs: CostSource::Borrowed(prober),
+        }
+    }
+
+    /// Creates a DP engine without a cost cache: probes walk the grid's
+    /// quantised edge costs directly. Bit-identical to the probed engines,
+    /// O(run-length) per probe — kept for the prober-off bench dimension
+    /// and the equivalence tests.
+    pub fn direct(graph: &'g GridGraph, mode: PatternMode) -> Self {
+        Self {
+            graph,
+            mode,
+            costs: CostSource::Direct,
+        }
     }
 
     /// The pattern mode in use.
     pub fn mode(&self) -> PatternMode {
         self.mode
+    }
+
+    /// Cost `cw(a, b, l)` of a straight run, from the active cost source.
+    #[inline]
+    fn run_cost(&self, l: u8, a: Point2, b: Point2) -> f64 {
+        match &self.costs {
+            CostSource::Owned(p) => p.wire_run_cost(l, a, b),
+            CostSource::Borrowed(p) => p.wire_run_cost(l, a, b),
+            CostSource::Direct => self.graph.wire_run_cost_fixed(l, a, b),
+        }
+    }
+
+    /// Cost `cv(p, l1, l2)` of a via stack, from the active cost source.
+    #[inline]
+    fn stack_cost(&self, p: Point2, l1: u8, l2: u8) -> f64 {
+        match &self.costs {
+            CostSource::Owned(pr) => pr.via_stack_cost(p, l1, l2),
+            CostSource::Borrowed(pr) => pr.via_stack_cost(p, l1, l2),
+            CostSource::Direct => self.graph.via_stack_cost_fixed(p, l1, l2),
+        }
+    }
+
+    /// Extra modeled gather depth per flow entry: the direct engine walks
+    /// every gcell of a run to cost it, so its blocks carry the run span as
+    /// serial depth; probed engines gather in O(1).
+    #[inline]
+    fn gather_depth(&self, span: usize) -> usize {
+        match &self.costs {
+            CostSource::Direct => span,
+            _ => 0,
+        }
     }
 
     /// Routes one net given its Steiner tree. Returns `None` when no
@@ -414,7 +508,7 @@ impl<'g> PatternDp<'g> {
             let (lo_first, lo_last) = if is_pin { (0u8, 0u8) } else { (1u8, ls as u8) };
             for lo in lo_first..=lo_last {
                 for hi in ls as u8..l as u8 {
-                    let mut total = self.graph.via_stack_cost(pos, lo, hi);
+                    let mut total = self.stack_cost(pos, lo, hi);
                     if !total.is_finite() {
                         continue;
                     }
@@ -467,7 +561,7 @@ impl<'g> PatternDp<'g> {
         };
         for lo in lo_first..=lo_last {
             for hi in lo.max(1)..l as u8 {
-                let mut total = self.graph.via_stack_cost(pos, lo, hi);
+                let mut total = self.stack_cost(pos, lo, hi);
                 if !total.is_finite() {
                     continue;
                 }
@@ -513,7 +607,7 @@ impl<'g> PatternDp<'g> {
         );
         for lt in 1..l {
             for (ls, &bottom) in scratch.cbc.iter().enumerate().skip(1) {
-                let c = bottom + self.graph.via_stack_cost(pos, ls as u8, lt as u8);
+                let c = bottom + self.stack_cost(pos, ls as u8, lt as u8);
                 if c < scratch.out_cost[lt] {
                     scratch.out_cost[lt] = c;
                     scratch.out_choice[lt] = EdgeChoice {
@@ -544,15 +638,16 @@ impl<'g> PatternDp<'g> {
             w1.extend(
                 cbc.iter()
                     .enumerate()
-                    .map(|(ls, &c)| c + self.graph.wire_run_cost(ls as u8, ps, bend)),
+                    .map(|(ls, &c)| c + self.run_cost(ls as u8, ps, bend)),
             );
             // w2[ls][lt] = cv(B, ls, lt) + cw(B, T, lt)       (Eq. 6)
+            // The wire term depends only on lt: probe it once per target
+            // layer, not once per (ls, lt) cell.
             scratch.w2.reset(l, l, f64::INFINITY);
-            for ls in 0..l {
-                for lt in 1..l {
-                    let via = self.graph.via_stack_cost(bend, ls as u8, lt as u8);
-                    let wire = self.graph.wire_run_cost(lt as u8, bend, pt);
-                    scratch.w2[(ls, lt)] = via + wire;
+            for lt in 1..l {
+                let wire = self.run_cost(lt as u8, bend, pt);
+                for ls in 0..l {
+                    scratch.w2[(ls, lt)] = self.stack_cost(bend, ls as u8, lt as u8) + wire;
                 }
             }
             // c*(lt) = min_ls (w1[ls] + w2[ls][lt])           (Eq. 7)
@@ -587,8 +682,12 @@ impl<'g> PatternDp<'g> {
                 lb: 0,
             }
         }));
-        // Flow: build stage + reduce over ls + merge over 2 candidates.
-        let depth = 2 + (l.next_power_of_two().trailing_zeros() as usize) + 1;
+        // Flow: build stage + reduce over ls + merge over 2 candidates;
+        // the direct engine's build stage serially walks each run.
+        let depth = 2
+            + (l.next_power_of_two().trailing_zeros() as usize)
+            + 1
+            + self.gather_depth(ps.manhattan_distance(pt) as usize);
         BlockProfile::new(2 * l * l, depth)
     }
 
@@ -645,18 +744,29 @@ impl<'g> PatternDp<'g> {
             w1.extend(
                 cbc.iter()
                     .enumerate()
-                    .map(|(ls, &c)| c + self.graph.wire_run_cost(ls as u8, ps, bs)),
+                    .map(|(ls, &c)| c + self.run_cost(ls as u8, ps, bs)),
             );
+            // The wire terms of w2/w3 depend only on the bridge/target
+            // layer `b`, not on `a`: probe them once per layer instead of
+            // L times inside the L x L fills.
+            scratch.run2.clear();
+            scratch
+                .run2
+                .extend((0..l).map(|b| self.run_cost(b as u8, bs, bt)));
+            scratch.run3.clear();
+            scratch
+                .run3
+                .extend((0..l).map(|b| self.run_cost(b as u8, bt, pt)));
             // w2[ls][lb] = cv(Bs, ls, lb) + cw(Bs, Bt, lb)    (Eq. 12)
             scratch.w2.reset(l, l, f64::INFINITY);
             // w3[lb][lt] = cv(Bt, lb, lt) + cw(Bt, T, lt)     (Eq. 13)
             scratch.w3.reset(l, l, f64::INFINITY);
             for a in 0..l {
                 for b in 1..l {
-                    scratch.w2[(a, b)] = self.graph.via_stack_cost(bs, a as u8, b as u8)
-                        + self.graph.wire_run_cost(b as u8, bs, bt);
-                    scratch.w3[(a, b)] = self.graph.via_stack_cost(bt, a as u8, b as u8)
-                        + self.graph.wire_run_cost(b as u8, bt, pt);
+                    scratch.w2[(a, b)] =
+                        self.stack_cost(bs, a as u8, b as u8) + scratch.run2[b];
+                    scratch.w3[(a, b)] =
+                        self.stack_cost(bt, a as u8, b as u8) + scratch.run3[b];
                 }
             }
             // c*(i)(lt) = min_{ls, lb} (w1 + w2 + w3)          (Eq. 14):
@@ -705,7 +815,8 @@ impl<'g> PatternDp<'g> {
         }));
         let depth = 3
             + 2 * (l.next_power_of_two().trailing_zeros() as usize)
-            + (n_pairs.next_power_of_two().trailing_zeros() as usize);
+            + (n_pairs.next_power_of_two().trailing_zeros() as usize)
+            + self.gather_depth(ps.manhattan_distance(pt) as usize);
         BlockProfile::new(n_pairs * l * l, depth)
     }
 
@@ -786,7 +897,9 @@ impl<'g> PatternDp<'g> {
 }
 
 /// Brute-force reference for tests: enumerate every L-shape combination of
-/// one two-pin net with both endpoints pins, no children.
+/// one two-pin net with both endpoints pins, no children. Uses the
+/// quantised (`_fixed`) grid walks — the arithmetic domain the DP's cost
+/// sources share — so the comparison is exact.
 #[cfg(test)]
 fn brute_force_two_pin_l(graph: &GridGraph, ps: Point2, pt: Point2) -> f64 {
     let l = graph.num_layers();
@@ -795,11 +908,11 @@ fn brute_force_two_pin_l(graph: &GridGraph, ps: Point2, pt: Point2) -> f64 {
         for ls in 1..l {
             for lt in 1..l {
                 // Pin access: stack 0 -> ls at Ps, 0 -> lt at Pt.
-                let c = graph.via_stack_cost(ps, 0, ls)
-                    + graph.wire_run_cost(ls, ps, bend)
-                    + graph.via_stack_cost(bend, ls, lt)
-                    + graph.wire_run_cost(lt, bend, pt)
-                    + graph.via_stack_cost(pt, 0, lt);
+                let c = graph.via_stack_cost_fixed(ps, 0, ls)
+                    + graph.wire_run_cost_fixed(ls, ps, bend)
+                    + graph.via_stack_cost_fixed(bend, ls, lt)
+                    + graph.wire_run_cost_fixed(lt, bend, pt)
+                    + graph.via_stack_cost_fixed(pt, 0, lt);
                 if c < best {
                     best = c;
                 }
@@ -864,10 +977,13 @@ mod tests {
         ] {
             let r = route_with(&g, mode, &[(1, 1), (14, 3), (7, 16), (3, 9)]);
             // The DP prices tree legs independently; normalised geometry
-            // costs at most that (equality when no legs overlap).
+            // costs at most that (equality when no legs overlap). The DP
+            // cost is a Q44.20-quantised sum while `route_cost` is raw
+            // f64, so the bound carries the quantisation slack (< 2^-21
+            // per edge).
             let recost = g.route_cost(&r.route);
             assert!(
-                recost <= r.cost + 1e-6,
+                recost <= r.cost + 1e-3,
                 "{mode:?}: geometry {} costs more than the dp bound {}",
                 recost,
                 r.cost
@@ -973,6 +1089,60 @@ mod tests {
     }
 
     #[test]
+    fn probed_and_direct_engines_agree_exactly() {
+        // The prober and the direct walks share the quantised cost domain,
+        // so costs and routes are bit-identical — equality, not epsilon.
+        let mut g = graph(24, 24, 6);
+        let mut blocker = Route::new();
+        blocker.push_segment(Segment::new(1, Point2::new(0, 8), Point2::new(20, 8)));
+        for _ in 0..5 {
+            g.commit(&blocker).expect("valid");
+        }
+        let pts = [(2, 2), (20, 5), (11, 19), (4, 12)];
+        for mode in [
+            PatternMode::LShape,
+            PatternMode::ZShape,
+            PatternMode::HybridAll,
+            PatternMode::Hybrid(SelectionThresholds::new(2, 100)),
+        ] {
+            let tree = SteinerBuilder::new().build(&net_of(&pts));
+            let probed = PatternDp::new(&g, mode).route_net(&tree).expect("routable");
+            let direct = PatternDp::direct(&g, mode)
+                .route_net(&tree)
+                .expect("routable");
+            assert_eq!(probed.cost, direct.cost, "{mode:?}: costs diverge");
+            assert_eq!(probed.route, direct.route, "{mode:?}: routes diverge");
+        }
+    }
+
+    #[test]
+    fn prober_removes_span_factor_from_modeled_work() {
+        // Per-net modeled work of the hybrid kernel: O((M+N)^2 * L^2) when
+        // every probe walks its run (direct), O((M+N) * L^2) with the
+        // prefix-sum prober. Growing a two-pin net's span 8x must grow the
+        // probed work roughly linearly (plus the log-merge term) but the
+        // direct work quadratically.
+        let g = graph(40, 40, 6);
+        let work = |dp: &PatternDp, s: u16| {
+            let tree = SteinerBuilder::new().build(&net_of(&[(1, 1), (1 + s, 1 + s)]));
+            dp.route_net(&tree).expect("routable").profile.work() as f64
+        };
+        let probed = PatternDp::new(&g, PatternMode::HybridAll);
+        let direct = PatternDp::direct(&g, PatternMode::HybridAll);
+        let probed_ratio = work(&probed, 32) / work(&probed, 4);
+        let direct_ratio = work(&direct, 32) / work(&direct, 4);
+        assert!(
+            probed_ratio < 12.0,
+            "probed work grew superlinearly: {probed_ratio}"
+        );
+        assert!(
+            direct_ratio > 18.0,
+            "direct work should keep the span factor: {direct_ratio}"
+        );
+        assert!(direct_ratio > 2.0 * probed_ratio);
+    }
+
+    #[test]
     fn z_shape_excludes_l_candidates() {
         // For an aligned (straight) net the Z set still contains the
         // straight path (mx sweep includes interior columns), so routing
@@ -1040,8 +1210,9 @@ mod tests {
             let tree = SteinerBuilder::new().build(&net_of(&pts));
             let r = PatternDp::new(&g, mode).route_net(&tree).expect("routable");
             prop_assert!(r.route.is_connected());
-            // DP cost upper-bounds the normalised geometry cost.
-            prop_assert!(g.route_cost(&r.route) <= r.cost + 1e-6);
+            // DP cost upper-bounds the normalised geometry cost (modulo
+            // Q44.20 quantisation slack vs the raw-f64 `route_cost`).
+            prop_assert!(g.route_cost(&r.route) <= r.cost + 1e-3);
         }
 
         #[test]

@@ -231,6 +231,7 @@ mod tests {
             sorting: SortingScheme::HpwlAscending,
             steiner_passes: 4,
             congestion_aware_planning: false,
+            cost_probing: true,
             validate: true,
         };
         let routes = stage.run(&design, &mut graph).expect("ok").routes;

@@ -15,7 +15,7 @@ use std::sync::OnceLock;
 
 use fastgr_design::Design;
 use fastgr_gpu::{Device, DeviceConfig, HostPool, SyncSlots};
-use fastgr_grid::{GridGraph, Rect, Route};
+use fastgr_grid::{CostProber, GridGraph, Rect, Route};
 use fastgr_steiner::{RouteTree, SteinerBuilder};
 use fastgr_taskgraph::{extract_batches, ConflictGraph};
 use fastgr_telemetry::{Recorder, Stopwatch};
@@ -83,6 +83,7 @@ pub struct PatternOutcome {
 ///     sorting: SortingScheme::HpwlAscending,
 ///     steiner_passes: 4,
 ///     congestion_aware_planning: false,
+///     cost_probing: true,
 ///     validate: true,
 /// };
 /// let outcome = stage.run(&design, &mut graph)?;
@@ -105,6 +106,13 @@ pub struct PatternStage {
     /// map of the design so trees bend away from predicted hot spots
     /// (CUGR's planning behaviour). Off by default.
     pub congestion_aware_planning: bool,
+    /// Prefix-sum cost probing: the kernels read wire-run and via-stack
+    /// costs from a [`CostProber`] cache (built once, incrementally
+    /// refreshed at every commit boundary from the grid's dirty bitsets)
+    /// instead of walking raw congestion per probe. Bit-identical routes
+    /// either way — both paths share the Q44.20 quantised cost domain —
+    /// so this is purely the O((M+N)²·L²) → O((M+N)·L²) per-net speedup.
+    pub cost_probing: bool,
     /// Debug-assert-style soundness checking: when set, the extracted
     /// batches are verified against the conflict graph with the
     /// `fastgr-analysis` validator (every batch an independent set, every
@@ -190,6 +198,19 @@ impl PatternStage {
         let mut routes: Vec<Route> = vec![Route::new(); design.nets().len()];
         let mut modeled_gpu_seconds = None;
 
+        // Prefix-sum cost cache shared by every engine: built once against
+        // the pre-routing congestion (rows summed in parallel on the same
+        // pool), then incrementally refreshed from the grid's dirty bitsets
+        // at each commit boundary — per batch for the batched engines, per
+        // net for the sequential baseline, preserving each engine's
+        // congestion-snapshot semantics exactly.
+        let mut prober = if self.cost_probing {
+            graph.clear_dirty();
+            Some(CostProber::build_with_pool(graph, &pool))
+        } else {
+            None
+        };
+
         match self.engine {
             PatternEngine::GpuFlow(device_config) => {
                 let mut device = Device::new(device_config);
@@ -200,10 +221,16 @@ impl PatternStage {
                     // its own index-disjoint slot. Demand commits after the
                     // launch in batch order (the batch is conflict-free, so
                     // order within it is moot).
+                    if let Some(p) = prober.as_mut() {
+                        p.refresh(graph, &pool);
+                    }
                     let slots = SyncSlots::new(batch.len());
                     let failed: OnceLock<u32> = OnceLock::new();
                     {
-                        let dp = PatternDp::new(graph, self.mode);
+                        let dp = match prober.as_ref() {
+                            Some(p) => PatternDp::with_prober(graph, self.mode, p),
+                            None => PatternDp::direct(graph, self.mode),
+                        };
                         device.launch("pattern", batch.len(), |b| {
                             let net_id = batch[b];
                             match dp.route_net(&trees[net_id as usize]) {
@@ -233,9 +260,17 @@ impl PatternStage {
             }
             PatternEngine::SequentialCpu => {
                 // CUGR-style: net by net in sorted order, committing each
-                // route before the next net is planned.
+                // route before the next net is planned. The cache refresh
+                // is incremental — O(rows touched by the previous commit),
+                // never a per-net full rebuild.
                 for &net_id in &order {
-                    let dp = PatternDp::new(graph, self.mode);
+                    if let Some(p) = prober.as_mut() {
+                        p.refresh(graph, &pool);
+                    }
+                    let dp = match prober.as_ref() {
+                        Some(p) => PatternDp::with_prober(graph, self.mode, p),
+                        None => PatternDp::direct(graph, self.mode),
+                    };
                     let result = dp
                         .route_net(&trees[net_id as usize])
                         .ok_or(RouteError::NoFinitePattern { net: net_id })?;
@@ -259,10 +294,16 @@ impl PatternStage {
                         .collect();
                     let conflicts = ConflictGraph::from_bounding_boxes(&disjoint_boxes);
                     let schedule = Schedule::build(&ids, &conflicts);
+                    if let Some(p) = prober.as_mut() {
+                        p.refresh(graph, &pool);
+                    }
                     let slots = SyncSlots::new(batch.len());
                     let failed: OnceLock<u32> = OnceLock::new();
                     {
-                        let dp = PatternDp::new(graph, self.mode);
+                        let dp = match prober.as_ref() {
+                            Some(p) => PatternDp::with_prober(graph, self.mode, p),
+                            None => PatternDp::direct(graph, self.mode),
+                        };
                         executor.run(&schedule, |t| {
                             let net_id = batch[t as usize];
                             match dp.route_net(&trees[net_id as usize]) {
@@ -286,6 +327,11 @@ impl PatternStage {
             }
         }
 
+        if let Some(p) = &prober {
+            recorder.accumulate("pattern.cost_cache_builds", p.builds() as f64);
+            recorder.accumulate("pattern.cost_cache_rows_rebuilt", p.rows_rebuilt() as f64);
+            recorder.accumulate("pattern.cost_probes", p.probes() as f64);
+        }
         let host_seconds = route_start.elapsed_seconds();
         route_span.finish();
         let reported_seconds = modeled_gpu_seconds.unwrap_or(host_seconds);
@@ -308,6 +354,14 @@ mod tests {
     use fastgr_grid::CostParams;
 
     fn run(engine: PatternEngine, mode: PatternMode) -> (PatternOutcome, GridGraph) {
+        run_probing(engine, mode, true)
+    }
+
+    fn run_probing(
+        engine: PatternEngine,
+        mode: PatternMode,
+        cost_probing: bool,
+    ) -> (PatternOutcome, GridGraph) {
         let design = Generator::tiny(11).generate();
         let mut graph = design.build_graph(CostParams::default()).expect("valid");
         let stage = PatternStage {
@@ -316,6 +370,7 @@ mod tests {
             sorting: SortingScheme::HpwlAscending,
             steiner_passes: 4,
             congestion_aware_planning: false,
+            cost_probing,
             validate: true,
         };
         let outcome = stage.run(&design, &mut graph).expect("routable");
@@ -423,12 +478,33 @@ mod tests {
             sorting: SortingScheme::default(),
             steiner_passes: 4,
             congestion_aware_planning: false,
+            cost_probing: true,
             validate: true,
         };
         assert!(matches!(
             stage.run(&design, &mut graph),
             Err(RouteError::TooFewLayers { layers: 2 })
         ));
+    }
+
+    #[test]
+    fn probed_and_direct_stages_route_identically() {
+        // The prober and the direct quantised walks are the same cost
+        // function, so a whole stage run must be byte-identical with the
+        // cache on or off, for every engine.
+        for engine in [
+            PatternEngine::SequentialCpu,
+            PatternEngine::GpuFlow(DeviceConfig::tiny()),
+            PatternEngine::ParallelCpu { workers: 2 },
+        ] {
+            let (probed, gp) = run_probing(engine, PatternMode::HybridAll, true);
+            let (direct, gd) = run_probing(engine, PatternMode::HybridAll, false);
+            assert_eq!(probed.routes, direct.routes, "{engine:?}: routes diverge");
+            assert_eq!(
+                gp.report().total_wire_demand,
+                gd.report().total_wire_demand
+            );
+        }
     }
 
     #[test]

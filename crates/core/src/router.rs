@@ -50,6 +50,11 @@ pub struct RouterConfig {
     pub history_increment: f64,
     /// Congestion-aware (RUDY-guided) edge shifting during planning.
     pub congestion_aware_planning: bool,
+    /// Prefix-sum cost prober in the pattern stage: wire-run and via-stack
+    /// costs become O(1) prefix differences instead of O(span) gcell walks.
+    /// Routes are bit-identical either way; this only changes the work the
+    /// kernels do. On in every preset; off is an ablation knob.
+    pub cost_probing: bool,
     /// Debug-assert-style soundness checking in both stages: batches and
     /// schedules are verified with the `fastgr-analysis` static validator
     /// and task-graph executions run under the happens-before race
@@ -75,6 +80,7 @@ impl RouterConfig {
             steiner_passes: 4,
             history_increment: 0.0,
             congestion_aware_planning: false,
+            cost_probing: true,
             validate: false,
         }
     }
@@ -188,6 +194,13 @@ impl RouterConfig {
     /// planning switched on or off.
     pub fn with_congestion_aware_planning(mut self, enabled: bool) -> Self {
         self.congestion_aware_planning = enabled;
+        self
+    }
+
+    /// Returns the configuration with the pattern-stage prefix-sum cost
+    /// prober switched on or off (see [`RouterConfig::cost_probing`]).
+    pub fn with_cost_probing(mut self, enabled: bool) -> Self {
+        self.cost_probing = enabled;
         self
     }
 
@@ -334,6 +347,7 @@ impl Router {
             sorting: c.sorting,
             steiner_passes: c.steiner_passes,
             congestion_aware_planning: c.congestion_aware_planning,
+            cost_probing: c.cost_probing,
             validate: c.validate,
         }
         .run_traced(design, &mut graph, recorder)?;
@@ -493,6 +507,7 @@ mod tests {
             .with_steiner_passes(2)
             .with_history_increment(0.25)
             .with_congestion_aware_planning(true)
+            .with_cost_probing(false)
             .with_validate(true);
         let mut mutated = RouterConfig::fastgr_h();
         mutated.workers = 3;
@@ -502,6 +517,7 @@ mod tests {
         mutated.steiner_passes = 2;
         mutated.history_increment = 0.25;
         mutated.congestion_aware_planning = true;
+        mutated.cost_probing = false;
         mutated.validate = true;
         assert_eq!(built.workers, mutated.workers);
         assert_eq!(built.rrr_iterations, mutated.rrr_iterations);
@@ -513,6 +529,7 @@ mod tests {
             built.congestion_aware_planning,
             mutated.congestion_aware_planning
         );
+        assert_eq!(built.cost_probing, mutated.cost_probing);
         assert_eq!(built.validate, mutated.validate);
         // The remaining builders cover engine/mode/strategy/cost/maze.
         let cfg = RouterConfig::cugr()

@@ -443,6 +443,7 @@ mod tests {
             sorting: SortingScheme::HpwlAscending,
             steiner_passes: 4,
             congestion_aware_planning: false,
+            cost_probing: true,
             validate: true,
         };
         let outcome = stage.run(&design, &mut graph).expect("routable");
@@ -610,6 +611,7 @@ mod tests {
             sorting: SortingScheme::HpwlAscending,
             steiner_passes: 4,
             congestion_aware_planning: false,
+            cost_probing: true,
             validate: true,
         };
         let mut routes = stage0.run(&design, &mut graph).expect("ok").routes;

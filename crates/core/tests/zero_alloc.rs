@@ -12,7 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use fastgr_core::{DpScratch, PatternDp, PatternMode};
 use fastgr_design::Generator;
-use fastgr_grid::{CostParams, Route};
+use fastgr_gpu::HostPool;
+use fastgr_grid::{CostParams, CostProber, Point2, Route, Segment};
 use fastgr_steiner::SteinerBuilder;
 
 /// Counts every allocation and reallocation passed to the system
@@ -78,4 +79,33 @@ fn route_net_into_is_allocation_free_in_steady_state() {
             "{mode:?}: {steady} allocations on the steady-state pass"
         );
     }
+}
+
+#[test]
+fn prober_refresh_is_allocation_free_in_steady_state() {
+    let mut graph = fastgr_grid::GridGraph::new(16, 16, 5, CostParams::default()).expect("valid");
+    graph.fill_capacity(3.0);
+    let pool = HostPool::new(1);
+    graph.clear_dirty();
+    let mut prober = CostProber::build_with_pool(&graph, &pool);
+
+    let mut route = Route::new();
+    route.push_segment(Segment::new(1, Point2::new(2, 3), Point2::new(9, 3)));
+    route.push_segment(Segment::new(2, Point2::new(9, 3), Point2::new(9, 8)));
+
+    // Warm-up: the first refresh after a commit touches the harvest
+    // buffers' high-water marks for this dirty pattern.
+    graph.commit(&route).expect("valid route");
+    prober.refresh(&mut graph, &pool);
+
+    // Steady state: the same commit shape must rebuild through the
+    // pre-sized scratch without heap traffic.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    graph.commit(&route).expect("valid route");
+    prober.refresh(&mut graph, &pool);
+    let steady = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        steady, 0,
+        "{steady} allocations on the steady-state refresh"
+    );
 }

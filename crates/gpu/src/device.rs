@@ -98,6 +98,12 @@ impl BlockProfile {
             flow_depth: self.flow_depth + other.flow_depth,
         }
     }
+
+    /// Total modeled work of the block: threads × sequential depth. The
+    /// unit the complexity assertions compare across engine variants.
+    pub const fn work(self) -> usize {
+        self.threads * self.flow_depth
+    }
 }
 
 /// Statistics of one kernel launch.
@@ -320,6 +326,15 @@ impl BlockEventTap for RecorderTap<'_> {
 mod tests {
     use super::*;
     use std::sync::Mutex;
+
+    #[test]
+    fn block_profile_work_is_threads_times_depth() {
+        assert_eq!(BlockProfile::new(81, 4).work(), 324);
+        // `then` takes the max width and sums depth, so work composes as
+        // the merged profile's area, not the sum of the parts.
+        let merged = BlockProfile::new(10, 2).then(BlockProfile::new(40, 3));
+        assert_eq!(merged.work(), 40 * 5);
+    }
 
     #[test]
     fn zero_block_launch_costs_only_overhead() {

@@ -37,6 +37,30 @@ fn fixed_to_demand(raw: u64) -> f64 {
     raw as i64 as f64 / DEMAND_SCALE
 }
 
+/// Number of fractional bits in the fixed-point (Q44.20) *cost* domain
+/// shared by [`GridGraph::wire_run_cost_fixed`] and the prefix-sum
+/// [`crate::CostProber`].
+///
+/// Edge costs are nonnegative and bounded (the logistic congestion model
+/// saturates; the zero-capacity sentinel is `overflow_weight * 16`), so a
+/// row-length prefix sum stays far below 2^53 and converts back to `f64`
+/// exactly. Because quantisation happens *per edge* before summation,
+/// integer prefix differences are bit-identical to naive integer summation
+/// — the exactness property the prober's proptests pin down.
+pub(crate) const COST_FRAC_BITS: u32 = 20;
+const COST_SCALE: f64 = (1u64 << COST_FRAC_BITS) as f64;
+
+/// Quantises a finite nonnegative edge cost to the Q44.20 cost domain.
+pub(crate) fn cost_to_fixed(cost: f64) -> u64 {
+    debug_assert!(cost.is_finite() && cost >= 0.0);
+    (cost * COST_SCALE).round() as u64
+}
+
+/// Converts a Q44.20 cost sum back to `f64` (exact below 2^53).
+pub(crate) fn fixed_cost_to_f64(raw: u64) -> f64 {
+    raw as f64 / COST_SCALE
+}
+
 /// Per-layer storage of wire-edge capacity, demand and history cost.
 ///
 /// Demand lives in atomic fixed-point cells (see [`demand_to_fixed`]) so
@@ -224,6 +248,10 @@ pub struct GridGraph {
     /// is the lower layer of the hop (0..layers-1).
     via_demand: Vec<AtomicU64>,
     dirty: DirtyTracker,
+    /// Dirty bits over `via_demand` cells, same indexing, consumed by the
+    /// [`crate::CostProber`] to rebuild only the via columns whose demand
+    /// changed since the last [`GridGraph::clear_dirty`].
+    via_dirty: DirtyTracker,
 }
 
 impl GridGraph {
@@ -263,8 +291,8 @@ impl GridGraph {
                 }
             })
             .collect();
-        let via_demand =
-            zeroed_atomics((layers as usize - 1) * width as usize * height as usize);
+        let via_cells = (layers as usize - 1) * width as usize * height as usize;
+        let via_demand = zeroed_atomics(via_cells);
         Ok(Self {
             width,
             height,
@@ -274,6 +302,7 @@ impl GridGraph {
             edge_offsets,
             via_demand,
             dirty: DirtyTracker::new(total_edges),
+            via_dirty: DirtyTracker::new(via_cells),
         })
     }
 
@@ -462,6 +491,45 @@ impl GridGraph {
         }
     }
 
+    /// Q44.20 quantised cost of the wire edge at flat plane index `i` on
+    /// layer `l` (congestion model + history, quantised per edge). Used by
+    /// the prefix-sum [`crate::CostProber`] and the quantised reference
+    /// walks below; keeping a single quantisation site guarantees the two
+    /// agree bit-for-bit.
+    pub(crate) fn wire_edge_cost_fixed_at(&self, l: usize, i: usize) -> u64 {
+        let plane = &self.planes[l];
+        cost_to_fixed(
+            self.params
+                .wire_edge_cost(plane.demand_at(i), plane.capacity[i])
+                + plane.history[i],
+        )
+    }
+
+    /// Q44.20 quantised cost of the via hop between layers `l` and `l + 1`
+    /// at flat G-cell index `pos` (`y * width + x`).
+    pub(crate) fn via_edge_cost_fixed_at(&self, l: usize, pos: usize) -> u64 {
+        let i = l * self.width as usize * self.height as usize + pos;
+        cost_to_fixed(
+            self.params
+                .via_edge_cost(fixed_to_demand(self.via_demand[i].load(Ordering::Relaxed))),
+        )
+    }
+
+    /// First dirty-bitset bit of layer `l`'s wire edges.
+    pub(crate) fn edge_offset(&self, l: usize) -> usize {
+        self.edge_offsets[l]
+    }
+
+    /// Raw words of the wire-edge dirty bitset (for dirty harvesting).
+    pub(crate) fn dirty_words(&self) -> &[AtomicU64] {
+        &self.dirty.words
+    }
+
+    /// Raw words of the via-cell dirty bitset (for dirty harvesting).
+    pub(crate) fn via_dirty_words(&self) -> &[AtomicU64] {
+        &self.via_dirty.words
+    }
+
     /// Cost `cw(a, b, l)` of a straight run on layer `l` between aligned
     /// G-cells `a` and `b`.
     ///
@@ -529,6 +597,66 @@ impl GridGraph {
             total += self.via_edge_cost(l, p);
         }
         total
+    }
+
+    /// [`GridGraph::wire_run_cost`] in the Q44.20 quantised cost domain:
+    /// each unit edge is quantised with `cost_to_fixed` *before* summation
+    /// and the integer total converted back to `f64` (exact below 2^53).
+    ///
+    /// This is the naive reference the prefix-sum [`crate::CostProber`]
+    /// matches bit-for-bit, and the arithmetic the pattern DP uses in its
+    /// direct (prober-off) mode so probed and direct routing agree exactly.
+    pub fn wire_run_cost_fixed(&self, l: u8, a: Point2, b: Point2) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if (l as usize) >= self.layers.len() || !self.contains(a) || !self.contains(b) {
+            return f64::INFINITY;
+        }
+        let dir = self.layers[l as usize].direction;
+        let run_dir = if a.y == b.y {
+            Direction::Horizontal
+        } else if a.x == b.x {
+            Direction::Vertical
+        } else {
+            return f64::INFINITY;
+        };
+        if dir != run_dir {
+            return f64::INFINITY;
+        }
+        let mut total = 0u64;
+        match dir {
+            Direction::Horizontal => {
+                let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+                let base = a.y as usize * (self.width as usize - 1);
+                for x in x0..x1 {
+                    total += self.wire_edge_cost_fixed_at(l as usize, base + x as usize);
+                }
+            }
+            Direction::Vertical => {
+                let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+                let base = a.x as usize * (self.height as usize - 1);
+                for y in y0..y1 {
+                    total += self.wire_edge_cost_fixed_at(l as usize, base + y as usize);
+                }
+            }
+        }
+        fixed_cost_to_f64(total)
+    }
+
+    /// [`GridGraph::via_stack_cost`] in the Q44.20 quantised cost domain;
+    /// the naive reference for [`crate::CostProber::via_stack_cost`].
+    pub fn via_stack_cost_fixed(&self, p: Point2, l1: u8, l2: u8) -> f64 {
+        let (lo, hi) = (l1.min(l2), l1.max(l2));
+        if hi as usize >= self.layers.len() || !self.contains(p) {
+            return f64::INFINITY;
+        }
+        let pos = p.y as usize * self.width as usize + p.x as usize;
+        let mut total = 0u64;
+        for l in lo..hi {
+            total += self.via_edge_cost_fixed_at(l as usize, pos);
+        }
+        fixed_cost_to_f64(total)
     }
 
     /// Adds `amount` demand (may be negative) to every unit wire edge of the
@@ -620,6 +748,7 @@ impl GridGraph {
         for l in lo..hi {
             let i = self.via_index(l, p).expect("validated in-bounds");
             self.via_demand[i].fetch_add(fx, Ordering::Relaxed);
+            self.via_dirty.mark(i, p);
         }
         Ok(())
     }
@@ -697,10 +826,12 @@ impl GridGraph {
         self.dirty.count.load(Ordering::Relaxed)
     }
 
-    /// Resets the dirty-edge tracker; subsequent demand updates start a new
-    /// dirty set. Requires `&mut self` and therefore quiescence.
+    /// Resets the dirty-edge tracker (wire *and* via bits); subsequent
+    /// demand updates start a new dirty set. Requires `&mut self` and
+    /// therefore quiescence.
     pub fn clear_dirty(&mut self) {
         self.dirty.clear();
+        self.via_dirty.clear();
     }
 
     /// Whether any unit wire edge covered by `route` is in the current
@@ -827,6 +958,7 @@ impl Clone for GridGraph {
                 .map(|d| AtomicU64::new(d.load(Ordering::Relaxed)))
                 .collect(),
             dirty: self.dirty.clone(),
+            via_dirty: self.via_dirty.clone(),
         }
     }
 }

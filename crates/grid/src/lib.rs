@@ -44,6 +44,7 @@ mod error;
 mod geom;
 mod graph;
 mod layer;
+mod prober;
 mod proptests;
 mod route;
 
@@ -53,4 +54,5 @@ pub use error::GridError;
 pub use geom::{Point2, Point3, Rect};
 pub use graph::GridGraph;
 pub use layer::{Direction, LayerInfo};
+pub use prober::CostProber;
 pub use route::{Route, Segment, Via};

@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sorting: SortingScheme::HpwlAscending,
         steiner_passes: 4,
         congestion_aware_planning: false,
+        cost_probing: true,
         validate: false,
     };
     stage.run(&design, &mut graph)?;

@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Serial-vs-parallel wall-clock snapshot of the pattern stage.
 #
-# Builds the release bench binary and routes the synthetic suite twice per
-# benchmark (1 host worker vs all cores / FASTGR_WORKERS), verifying that
-# geometry and modelled device time are identical across worker counts,
-# then writes BENCH_pattern.json at the repo root.
+# Builds the release bench binary and routes the synthetic suite three
+# times per benchmark (serial, parallel, and parallel with the prefix-sum
+# cost prober off), verifying that geometry is identical across worker
+# counts and across probed/direct cost evaluation, then writes
+# BENCH_pattern.json at the repo root — including the prober's cache-build
+# wall time next to the probe savings it buys.
 #
 # Usage: scripts/bench_pattern.sh [--full] [--workers N] [--out PATH]
 #                                 [--trace PATH]

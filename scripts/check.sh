@@ -31,8 +31,15 @@ target/release/fastgr generate tiny --out "$trace_tmp/tiny.txt"
 target/release/fastgr route "$trace_tmp/tiny.txt" --trace "$trace_tmp/trace.json" >/dev/null
 cargo xtask validate-trace "$trace_tmp/trace.json"
 
-echo "== rrr bench smoke =="
+echo "== probe equivalence =="
+cargo test -q -p fastgr-core --test probe_equivalence
+
+echo "== pattern bench smoke =="
 cargo build --release -p fastgr-bench
+target/release/bench_pattern --workers 2 --out "$trace_tmp/BENCH_pattern.json" >/dev/null
+FASTGR_BENCH_MS=20 cargo bench -q -p fastgr-bench --bench pattern_kernels >/dev/null
+
+echo "== rrr bench smoke =="
 target/release/bench_rrr --workers 2 --iterations 2 --out "$trace_tmp/BENCH_rrr.json" >/dev/null
 
 echo "All checks passed."

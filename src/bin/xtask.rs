@@ -15,7 +15,11 @@
 //! * `cargo xtask validate-trace <trace.json>` — parses a Chrome
 //!   `trace_event` file written by `fastgr route --trace` and checks the
 //!   schema (event phases, required fields, begin/end balance);
-//! * `cargo xtask check` — lint + validate + mutation; what CI runs.
+//! * `cargo xtask check` — lint + lint-fixture + validate + mutation;
+//!   what CI runs. The lint-fixture step seeds known-bad sources (a
+//!   `wire_edge_cost` call in a DP kernel, an allocation in a prober
+//!   rebuild body) and demands the lint rules reject them, so a rule
+//!   that silently stops firing fails the build.
 
 #![forbid(unsafe_code)]
 
@@ -23,7 +27,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use fastgr_analysis::{
-    lint_workspace, validate_batches, validate_schedule, validate_view, RaceChecker, ScheduleView,
+    lint_file, lint_workspace, validate_batches, validate_schedule, validate_view, RaceChecker,
+    Rules, ScheduleView, ValidationReport,
 };
 use fastgr_core::{Router, RouterConfig};
 use fastgr_design::{Design, Generator, GeneratorParams};
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
         "validate-trace" => validate_trace(args.get(1).map(String::as_str)),
         "check" => {
             let mut ok = lint();
+            ok &= lint_fixture();
             ok &= validate();
             ok &= mutation();
             ok
@@ -106,6 +112,45 @@ fn lint() -> bool {
     let report = lint_workspace(workspace_root());
     println!("lint: {report}");
     report.is_clean()
+}
+
+/// Seeded lint violations: known-bad sources the rules *must* flag. A rule
+/// that rots (needle renamed, scope predicate broken) passes the clean
+/// workspace silently; this step catches that by demanding rejection.
+fn lint_fixture() -> bool {
+    let mut ok = true;
+    let mut case = |name: &str, src: &str, rel: &str, rules: Rules, want_rule: &str| {
+        let mut report = ValidationReport::default();
+        lint_file(src, rel, rules, &[], &mut [], &mut report);
+        let fired = report.diagnostics.iter().any(|d| d.rule == want_rule);
+        if fired {
+            println!("lint-fixture {name}: rejected (good)");
+        } else {
+            eprintln!("lint-fixture {name}: NOT rejected — `{want_rule}` is blind");
+            ok = false;
+        }
+    };
+    case(
+        "dp-direct-cost",
+        "fn l_shape_into(&self) {\n    let w = params.wire_edge_cost(demand, cap);\n}\n",
+        "crates/core/src/dp.rs",
+        Rules {
+            dp_direct: true,
+            ..Rules::default()
+        },
+        "dp-direct-cost",
+    );
+    case(
+        "prober-dp-alloc",
+        "fn rebuild_wire_row_into(&self, row: usize) {\n    let v: Vec<u64> = Vec::new();\n}\n",
+        "crates/grid/src/prober.rs",
+        Rules {
+            dp: true,
+            ..Rules::default()
+        },
+        "dp-alloc",
+    );
+    ok
 }
 
 /// Checks a Chrome `trace_event` file as written by `fastgr route --trace`:

@@ -2,6 +2,12 @@
 //! both optimise the same cost model, so on an empty grid the maze route of
 //! a two-pin net can never cost more than the pattern route (it searches a
 //! superset of the pattern paths), and both must connect the same pins.
+//!
+//! Tolerances: the pattern DP evaluates costs in the Q44.20 fixed-point
+//! domain of the prefix-sum cost prober (each edge rounds by at most
+//! 2^-21), while `GridGraph::route_cost` sums raw f64 — so pattern-vs-maze
+//! comparisons allow 1e-3 of quantisation drift. Pattern-vs-pattern
+//! comparisons are quantised on both sides and stay at 1e-9.
 
 use fastgr::core::{PatternDp, PatternMode};
 use fastgr::design::{Net, NetId, Pin};
@@ -46,7 +52,7 @@ fn maze_never_loses_to_patterns_on_an_empty_grid() {
             .expect("routable");
         let maze_cost = g.route_cost(&maze_route);
         assert!(
-            maze_cost <= pattern.cost + 1e-6,
+            maze_cost <= pattern.cost + 1e-3,
             "maze {maze_cost} must not exceed pattern {} for {a:?}->{b:?}",
             pattern.cost
         );
@@ -70,7 +76,7 @@ fn hybrid_pattern_closes_the_gap_to_maze() {
         .route(&g, &net.distinct_positions())
         .expect("ok");
     let m = g.route_cost(&maze_route);
-    assert!(m <= h.cost + 1e-6);
+    assert!(m <= h.cost + 1e-3);
     assert!(h.cost <= l.cost + 1e-9);
 }
 
@@ -86,7 +92,7 @@ fn pattern_and_maze_agree_on_straight_connections() {
     let maze_route = MazeRouter::default()
         .route(&g, &net.distinct_positions())
         .expect("routable");
-    assert!((g.route_cost(&maze_route) - pattern.cost).abs() < 1e-6);
+    assert!((g.route_cost(&maze_route) - pattern.cost).abs() < 1e-3);
     assert_eq!(maze_route.wirelength(), pattern.route.wirelength());
 }
 
